@@ -1,0 +1,183 @@
+"""Micro-benchmarks of the building blocks (real wall-clock timing).
+
+These complement the figure reproductions: they time the primitive
+operations of the engine and the replication protocol on this machine —
+write-set application, snapshot reads, SQL execution, checkpointing and
+page migration.
+"""
+
+import pytest
+
+from repro.common.versions import VersionVector
+from repro.core import MasterReplica, SlaveReplica
+from repro.engine import Column, HeapEngine, IndexDef, TableSchema, TxnMode
+from repro.engine.rbtree import RedBlackTree
+from repro.failover.reintegration import integrate_stale_node
+from repro.sql import SqlExecutor
+from repro.storage import FuzzyCheckpointer, StableStore
+
+ITEM = TableSchema(
+    "item",
+    [
+        Column("i_id", "int", nullable=False),
+        Column("i_title", "str"),
+        Column("i_subject", "str"),
+        Column("i_stock", "int"),
+    ],
+    primary_key=("i_id",),
+    indexes=[IndexDef("ix_subject", ("i_subject", "i_id"))],
+)
+
+SUBJECTS = ["ARTS", "HISTORY", "SCIENCE", "SPORTS"]
+
+
+def make_pair(rows=2000):
+    master = MasterReplica("m0")
+    slave = SlaveReplica("s0")
+    data = [
+        {"i_id": i, "i_title": f"b{i:06d}", "i_subject": SUBJECTS[i % 4], "i_stock": 10}
+        for i in range(rows)
+    ]
+    for node in (master.engine, slave.engine):
+        node.create_table(ITEM)
+        node.bulk_load("item", data)
+    return master, slave
+
+
+def test_bench_master_update_txn(benchmark):
+    """One single-row update transaction on the master, end to end."""
+    master, slave = make_pair()
+    sql = SqlExecutor(master.engine)
+    counter = iter(range(10**9))
+
+    def run():
+        i = next(counter) % 2000
+        txn = master.begin_update()
+        sql.execute(txn, "UPDATE item SET i_stock = i_stock - 1 WHERE i_id = ?", (i,))
+        ws = master.pre_commit(txn)
+        slave.receive(ws)
+        master.finalize(txn)
+
+    benchmark(run)
+
+
+def test_bench_slave_snapshot_read(benchmark):
+    """Tagged read on a slave with pending ops to materialise."""
+    master, slave = make_pair()
+    msql = SqlExecutor(master.engine)
+    ssql = SqlExecutor(slave.engine)
+    counter = iter(range(10**9))
+
+    def run():
+        i = next(counter) % 2000
+        txn = master.begin_update()
+        msql.execute(txn, "UPDATE item SET i_stock = 5 WHERE i_id = ?", (i,))
+        ws = master.pre_commit(txn)
+        slave.receive(ws)
+        master.finalize(txn)
+        ro = slave.begin_read_only(master.current_versions())
+        ssql.execute(ro, "SELECT i_stock FROM item WHERE i_id = ?", (i,))
+        slave.engine.commit(ro)
+
+    benchmark(run)
+
+
+def test_bench_sql_index_join(benchmark):
+    """A 50-row index range + projection (the SearchResults shape)."""
+    engine = HeapEngine()
+    engine.create_table(ITEM)
+    engine.bulk_load(
+        "item",
+        [
+            {"i_id": i, "i_title": f"b{i:06d}", "i_subject": SUBJECTS[i % 4], "i_stock": 10}
+            for i in range(4000)
+        ],
+    )
+    sql = SqlExecutor(engine)
+
+    def run():
+        txn = engine.begin(TxnMode.READ_ONLY)
+        rs = sql.execute(
+            txn,
+            "SELECT i_id, i_title FROM item WHERE i_subject = 'ARTS' "
+            "ORDER BY i_id LIMIT 50",
+        )
+        engine.commit(txn)
+        return rs
+
+    result = benchmark(run)
+    assert len(result.rows) == 50
+
+
+def test_bench_rbtree_insert_delete(benchmark):
+    """RB-tree churn: the master's index rebalancing cost."""
+    def run():
+        tree = RedBlackTree()
+        for i in range(500):
+            tree.insert((i * 7919) % 1000, i)
+        for i in range(0, 500, 2):
+            tree.delete((i * 7919) % 1000)
+        return len(tree)
+
+    benchmark(run)
+
+
+def test_bench_fuzzy_checkpoint(benchmark):
+    """Full fuzzy checkpoint of a 2000-row database."""
+    master, _ = make_pair()
+    stable = StableStore()
+    ckpt = FuzzyCheckpointer(master.engine.store, stable)
+
+    def run():
+        master.engine.store.get(next(iter(master.engine.store.version_map()))).version += 1
+        return ckpt.full_checkpoint(lambda page: False)
+
+    benchmark(run)
+
+
+def test_bench_page_migration(benchmark):
+    """Version-aware page transfer between two slaves."""
+    master, support = make_pair()
+    sql = SqlExecutor(master.engine)
+    for i in range(200):
+        txn = master.begin_update()
+        sql.execute(txn, "UPDATE item SET i_stock = ? WHERE i_id = ?", (i, i * 7 % 2000))
+        ws = master.pre_commit(txn)
+        support.receive(ws)
+        master.finalize(txn)
+
+    def run():
+        joiner = SlaveReplica("joiner")
+        joiner.engine.create_table(ITEM)
+        joiner.engine.bulk_load(
+            "item",
+            [
+                {"i_id": i, "i_title": f"b{i:06d}", "i_subject": SUBJECTS[i % 4], "i_stock": 10}
+                for i in range(2000)
+            ],
+        )
+        joiner.catching_up = True
+        return integrate_stale_node(joiner, support)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.pages_sent > 0
+
+
+def test_bench_writeset_discard(benchmark):
+    """Master-failure cleanup: discarding unconfirmed write-sets."""
+    master, slave = make_pair()
+    sql = SqlExecutor(master.engine)
+
+    def setup():
+        for i in range(50):
+            txn = master.begin_update()
+            sql.execute(txn, "UPDATE item SET i_stock = 1 WHERE i_id = ?", (i,))
+            ws = master.pre_commit(txn)
+            slave.receive(ws)
+            master.finalize(txn)
+        return (VersionVector(),), {}
+
+    def run(confirmed):
+        return slave.discard_above(confirmed)
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Scaling sweep: peak throughput vs number of in-memory slaves.
+
+A compact version of the paper's Figure 3 for one mix: measures peak WIPS
+for 1..8 slaves and the stand-alone on-disk baseline, printing the scaling
+curve and the improvement factors.
+
+Run:  python examples/scaling_sweep.py [mix]          (default: shopping)
+"""
+
+import sys
+
+from repro.bench.harness import run_dmv_throughput, run_innodb_throughput
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "shopping"
+    print(f"mix: {mix}\n")
+    innodb = max(
+        run_innodb_throughput(mix, clients, duration=40.0).wips for clients in (10, 25)
+    )
+    print(f"stand-alone on-disk baseline: {innodb:6.1f} WIPS\n")
+    print(f"{'slaves':>7} {'clients':>8} {'WIPS':>8} {'factor':>8} {'p95 (s)':>9}")
+    for n in (1, 2, 4, 8):
+        run = run_dmv_throughput(mix, n, clients=55 * n, duration=40.0)
+        factor = run.wips / innodb if innodb else float("nan")
+        print(f"{n:>7} {run.clients:>8} {run.wips:>8.1f} {'x%.1f' % factor:>8} "
+              f"{run.latency_p95:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

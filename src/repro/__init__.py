@@ -1,0 +1,57 @@
+"""repro — Dynamic Multiversioning (DSN 2007) reproduction.
+
+A from-scratch implementation of Manassiev & Amza's in-memory multiversion
+replication tier: page-granular replicated storage, a version-aware
+scheduler, split-second failure reconfiguration, an on-disk persistence
+tier, and the TPC-W workload — plus a discrete-event cluster simulation
+that regenerates every figure of the paper's evaluation.
+
+Typical entry points:
+
+* :class:`repro.cluster.SyncDmvCluster` — embedded synchronous cluster,
+* :class:`repro.cluster.ThreadedDmvCluster` — live cluster for threaded apps,
+* :class:`repro.cluster.simcluster.SimDmvCluster` — simulated deployment,
+* :mod:`repro.tpcw` — the benchmark workload,
+* :mod:`repro.bench` — the paper's experiments.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    DeadlockDetected,
+    NodeUnavailable,
+    ReproError,
+    SchemaError,
+    SqlError,
+    TransactionAborted,
+    VersionInconsistency,
+)
+from repro.common.versions import VersionVector
+from repro.engine.schema import Column, IndexDef, TableSchema
+
+__version__ = "1.0.0"
+
+#: The paper this library reproduces.
+PAPER = (
+    "Kaloian Manassiev and Cristiana Amza. "
+    "Scaling and Continuous Availability in Database Server Clusters "
+    "through Multiversion Replication. DSN 2007."
+)
+
+__all__ = [
+    "__version__",
+    "PAPER",
+    "ReproError",
+    "ConfigError",
+    "SchemaError",
+    "SqlError",
+    "TransactionAborted",
+    "VersionInconsistency",
+    "DeadlockDetected",
+    "NodeUnavailable",
+    "VersionVector",
+    "Column",
+    "IndexDef",
+    "TableSchema",
+]

@@ -1,0 +1,47 @@
+"""Benchmark harness: experiment assembly, calibration and reporting.
+
+Each paper table/figure has one target in ``benchmarks/`` that calls into
+:mod:`repro.bench.harness` and prints the same rows/series the paper
+reports.  Calibration constants live in :mod:`repro.bench.calibration`.
+"""
+
+from repro.bench.calibration import (
+    BENCH_COST,
+    BENCH_SCALE,
+    FAILOVER_COST,
+    FAILOVER_SCALE,
+    INNODB_POOL_FRACTION,
+    bench_cost,
+)
+from repro.bench.harness import (
+    FailoverResult,
+    PeakResult,
+    ThroughputRun,
+    find_peak,
+    run_dmv_failover,
+    run_dmv_throughput,
+    run_innodb_failover,
+    run_innodb_throughput,
+    run_reintegration,
+)
+from repro.bench.report import format_series, format_table
+
+__all__ = [
+    "BENCH_COST",
+    "BENCH_SCALE",
+    "FAILOVER_COST",
+    "FAILOVER_SCALE",
+    "INNODB_POOL_FRACTION",
+    "bench_cost",
+    "ThroughputRun",
+    "PeakResult",
+    "FailoverResult",
+    "run_dmv_throughput",
+    "run_innodb_throughput",
+    "find_peak",
+    "run_dmv_failover",
+    "run_innodb_failover",
+    "run_reintegration",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,25 @@
+"""Report formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.stats import TimeSeries, pretty_table
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A titled, aligned table block."""
+    body = pretty_table(headers, rows)
+    bar = "=" * max(len(title), 8)
+    return f"\n{title}\n{bar}\n{body}\n"
+
+
+def format_series(title: str, series: TimeSeries, width: int = 50, unit: str = "") -> str:
+    """An ASCII sparkline table of a time series (paper-style figure)."""
+    lines = [f"\n{title}", "=" * max(len(title), 8)]
+    peak = max(series.values) if series.values else 1.0
+    peak = peak or 1.0
+    for t, value in zip(series.times, series.values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"t={t:8.1f}s  {value:9.2f}{unit}  |{bar}")
+    return "\n".join(lines) + "\n"

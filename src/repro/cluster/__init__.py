@@ -1,0 +1,23 @@
+"""Cluster assemblies.
+
+Two deployment styles over the same protocol objects:
+
+* :class:`SyncDmvCluster` — an embedded, synchronous cluster: replication
+  happens inline at commit, no virtual time.  This is the library's simple
+  public API (quickstart) and the substrate for protocol-level tests.
+* :class:`ThreadedDmvCluster` — a live deployment for threaded embedders:
+  real blocking page locks, synchronous eager replication at commit.
+* :mod:`repro.cluster.simcluster` / :mod:`repro.cluster.simdisk` — the
+  discrete-event deployments used by every benchmark: nodes have CPUs,
+  caches, disks and a network; failures and recoveries take (virtual) time.
+"""
+
+from repro.cluster.sync import SyncConnection, SyncDmvCluster
+from repro.cluster.threaded import ThreadedConnection, ThreadedDmvCluster
+
+__all__ = [
+    "SyncDmvCluster",
+    "SyncConnection",
+    "ThreadedDmvCluster",
+    "ThreadedConnection",
+]

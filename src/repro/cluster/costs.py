@@ -1,0 +1,112 @@
+"""Cost model: translating instrumented work into virtual service time.
+
+The engine counts what a statement *did* (rows read, pages touched, index
+rotations, cache misses, WAL fsyncs); the cost model converts those counter
+deltas into CPU seconds and I/O seconds that the simulated node then holds
+its resources for.  Outcomes (who wins, where saturation sets in) emerge
+from the structure — disk time dominates the on-disk tier, page-fault time
+dominates cold caches, rotation/lock time loads the master — rather than
+from per-experiment tuning.
+
+The defaults describe one 2-core ~2 GHz node of the paper's era, scaled so
+that simulated runs stay tractable; see ``repro/bench/calibration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.disk.diskmodel import DiskModel
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """All service-time knobs, in (virtual) seconds."""
+
+    # -- CPU costs (per unit of instrumented work) -------------------------------
+    cpu_per_statement: float = 0.0003   # parse/plan/dispatch overhead
+    cpu_per_row_read: float = 0.00002
+    cpu_per_page_touch: float = 0.00001
+    cpu_per_row_write: float = 0.00008
+    cpu_per_index_rotation: float = 0.00020  # RB-tree rebalancing (paper §6.1)
+    cpu_per_lock_wait: float = 0.00005
+    # -- replication costs ----------------------------------------------------------
+    cpu_per_op_receive: float = 0.00002   # enqueue + eager index maintenance
+    cpu_per_op_apply: float = 0.00002     # lazy page application
+    cpu_per_op_precommit: float = 0.00003  # write-set encode on the master
+    # -- memory hierarchy ---------------------------------------------------------------
+    page_fault_cost: float = 0.004  # mmap page-in on an in-memory node
+    # -- network ----------------------------------------------------------------------------
+    net_latency: float = 0.0002          # one-way LAN latency
+    net_bandwidth: float = 100e6         # bytes/second
+    # -- node shape --------------------------------------------------------------------------
+    cores_per_node: int = 2
+    # -- reconfiguration --------------------------------------------------------------------------
+    #: Fixed coordination overhead of master-failure recovery (abort round,
+    #: election, topology broadcast) — the paper measures ~6 s total.
+    recovery_overhead: float = 2.0
+    # -- disk (on-disk tier) ---------------------------------------------------------------------
+    disk: DiskModel = field(default_factory=DiskModel)
+    #: Disk I/Os charged per page *written* on the on-disk tier (dirty-page
+    #: write-back competing with reads for the spindle).
+    disk_writeback_factor: float = 1.0
+
+    def net_delay(self, nbytes: int) -> float:
+        return self.net_latency + nbytes / self.net_bandwidth
+
+    def rtt(self, nbytes: int = 256) -> float:
+        """Request/response round trip through the scheduler."""
+        return 2 * self.net_delay(nbytes)
+
+
+class CostModel:
+    """Computes service times from counter deltas."""
+
+    def __init__(self, config: CostConfig) -> None:
+        self.config = config
+
+    def statement_cpu(self, delta: Mapping[str, float]) -> float:
+        """CPU seconds for one executed statement."""
+        c = self.config
+        return (
+            c.cpu_per_statement
+            + c.cpu_per_row_read * delta.get("engine.rows_read", 0)
+            + c.cpu_per_page_touch * delta.get("engine.pages_read", 0)
+            + c.cpu_per_page_touch * delta.get("engine.pages_written", 0)
+            + c.cpu_per_row_write
+            * (
+                delta.get("engine.rows_inserted", 0)
+                + delta.get("engine.rows_updated", 0)
+                + delta.get("engine.rows_deleted", 0)
+            )
+            + c.cpu_per_index_rotation * delta.get("index.rotations", 0)
+            + c.cpu_per_lock_wait * delta.get("locks.waits", 0)
+            + c.cpu_per_op_apply * delta.get("slave.ops_applied", 0)
+        )
+
+    def fault_time(self, delta: Mapping[str, float]) -> float:
+        """Page-in time for an in-memory node's cache misses."""
+        return self.config.page_fault_cost * delta.get("cache.misses", 0)
+
+    def disk_time(self, delta: Mapping[str, float]) -> float:
+        """Disk seconds for an on-disk node: misses, write-back, log forces."""
+        disk = self.config.disk
+        ios = delta.get("cache.misses", 0) + self.config.disk_writeback_factor * delta.get(
+            "engine.pages_written", 0
+        )
+        return disk.random_read_cost(int(ios)) + disk.fsync_cost(
+            int(delta.get("wal.fsyncs", 0))
+        )
+
+    def receive_cpu(self, op_count: int) -> float:
+        return self.config.cpu_per_op_receive * op_count
+
+    def precommit_cpu(self, op_count: int) -> float:
+        return self.config.cpu_per_op_precommit * op_count
+
+    def apply_cpu(self, op_count: int) -> float:
+        return self.config.cpu_per_op_apply * op_count
+
+    def sequential_disk(self, nbytes: int) -> float:
+        return self.config.disk.sequential_cost(nbytes)

@@ -1,0 +1,737 @@
+"""The simulated DMV cluster and the on-disk baseline cluster.
+
+Assembles scheduler + nodes + clients under the event kernel and provides
+the failure-injection and reconfiguration machinery the failover
+experiments exercise.  Timing of every phase (cleanup, data migration,
+cache warm-up) is recorded so Figure 6's breakdown can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import NodeUnavailable, TransactionAborted
+from repro.common.rng import RngStream
+from repro.cluster.costs import CostConfig, CostModel
+from repro.cluster.simnodes import DiskDbNode, InMemoryDbNode, SimNode
+from repro.core.conflictclass import ConflictClassMap
+from repro.engine.schema import TableSchema
+from repro.failover.recovery import (
+    cleanup_after_master_failure,
+    elect_new_master,
+    promote_slave_to_master,
+)
+from repro.failover.reintegration import integrate_stale_node, restore_from_checkpoint
+from repro.scheduler.conflictaware import ConflictAwareScheduler
+from repro.scheduler.versionaware import VersionAwareScheduler
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Histogram, TimeSeries, WindowedRate
+from repro.tpcw.connection import Connection
+from repro.tpcw.interactions import INTERACTIONS, SharedSequences
+from repro.tpcw.mixes import Mix
+from repro.tpcw.schema import TpcwScale
+from repro.tpcw.session import EmulatedBrowser
+
+
+@dataclass
+class Metrics:
+    """Client-perceived measurements of one experiment run."""
+
+    wips: WindowedRate = field(default_factory=lambda: WindowedRate(window=20.0, name="wips"))
+    latency: Histogram = field(default_factory=lambda: Histogram("latency"))
+    latency_series: TimeSeries = field(default_factory=lambda: TimeSeries("latency"))
+    completed: int = 0
+    retried: int = 0
+    failed: int = 0
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record_completion(self, time: float, latency: float) -> None:
+        self.completed += 1
+        self.wips.mark(time)
+        self.latency.record(latency)
+        self.latency_series.record(time, latency)
+
+    def record_retry(self, reason: str) -> None:
+        self.retried += 1
+        self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+
+    def abort_rate(self) -> float:
+        total = self.completed + self.retried
+        return self.retried / total if total else 0.0
+
+
+class SimConnection(Connection):
+    """Connection whose effects are kernel events (driven by browsers)."""
+
+    def __init__(self, cluster: "SimDmvCluster") -> None:
+        self.cluster = cluster
+        self._node: Optional[InMemoryDbNode] = None
+        self._txn = None
+        self._is_update = False
+        self._queries: List[Tuple[str, Tuple]] = []
+
+    def begin_read(self, tables: Sequence[str]):
+        routed = self.cluster.scheduler.route_read(list(tables))
+        node = self.cluster.node(routed.node_id)
+        self._node = node
+        self._is_update = False
+        self._txn = node.slave.begin_read_only(routed.tag)
+        return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
+
+    def begin_update(self, tables: Sequence[str]):
+        master_id = self.cluster.scheduler.route_update(list(tables))
+        node = self.cluster.node(master_id)
+        if node.master is None:
+            raise NodeUnavailable(f"{master_id} is not serving as master yet")
+        self._node = node
+        self._is_update = True
+        self._queries = []
+        self._txn = node.master.begin_update(write_tables=tables)
+        return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
+
+    def query(self, sql: str, params: Sequence = ()):
+        node, txn = self._node, self._txn
+        if txn is None:
+            raise RuntimeError("no open transaction")
+        if not node.alive or not txn.active:
+            # The node died between statements; its engine already rolled
+            # the transaction back.
+            self._node = self._txn = None
+            raise NodeUnavailable(f"node {node.node_id} failed mid-transaction")
+        if self._is_update and not sql.lstrip().lower().startswith("select"):
+            self._queries.append((sql, tuple(params)))
+        cfg = self.cluster.cost.config
+
+        def effect():
+            yield self.cluster.sim.timeout(cfg.rtt())
+            result = yield node.job(node.exec_statement(txn, sql, params), "stmt")
+            return result
+
+        return self.cluster.sim.spawn(effect(), name="query")
+
+    def commit(self):
+        node, txn = self._node, self._txn
+        if txn is None:
+            raise RuntimeError("no open transaction")
+        self._node = self._txn = None
+        if not node.alive or not txn.active:
+            if not self._is_update:
+                self.cluster.scheduler.note_read_done(node.node_id)
+            raise NodeUnavailable(f"node {node.node_id} failed before commit")
+        if not self._is_update:
+            node.engine.commit(txn)
+            self.cluster.scheduler.note_read_done(node.node_id)
+            return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
+        queries, self._queries = self._queries, []
+        return self.cluster.sim.spawn(
+            self.cluster.commit_update(node, txn, queries), name="commit"
+        )
+
+    def abort(self):
+        self.cleanup()
+        return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
+
+    def cleanup(self) -> None:
+        """Roll back whatever is still open (safe to call repeatedly)."""
+        node, txn = self._node, self._txn
+        self._node = self._txn = None
+        if txn is None or node is None:
+            return
+        if node.alive:
+            node.engine.abort(txn)
+        if not self._is_update:
+            self.cluster.scheduler.note_read_done(node.node_id)
+
+
+@dataclass
+class FailoverTimeline:
+    """Timestamps/durations of one reconfiguration (Figure 6 breakdown)."""
+
+    failure_time: float = 0.0
+    detection_time: float = 0.0
+    recovery_done: float = 0.0       # cleanup + master promotion
+    migration_done: float = 0.0      # data migration (DB update)
+    migration_pages: int = 0
+    migration_bytes: int = 0
+
+    def recovery_duration(self) -> float:
+        return max(0.0, self.recovery_done - self.detection_time)
+
+    def migration_duration(self) -> float:
+        return max(0.0, self.migration_done - max(self.recovery_done, self.detection_time))
+
+
+@dataclass
+class SchedulerAgent:
+    """One peer scheduler: tiny replicable state + liveness (paper §4.1)."""
+
+    agent_id: str
+    scheduler: VersionAwareScheduler
+    alive: bool = True
+    ready: bool = True  # False while a takeover is resynchronising
+
+
+class SimDmvCluster:
+    """Scheduler(s) + master + slaves (+ spares) under the event kernel."""
+
+    def __init__(
+        self,
+        schemas: Sequence[TableSchema],
+        num_slaves: int = 2,
+        num_spares: int = 0,
+        num_schedulers: int = 1,
+        conflict_map: Optional[ConflictClassMap] = None,
+        multi_master: bool = False,
+        cost_config: Optional[CostConfig] = None,
+        cache_pages: int = 1 << 30,
+        rows_per_page: int = 64,
+        seed: int = 0,
+        spare_read_fraction: float = 0.0,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 2,
+        checkpoint_period: float = 0.0,
+        pageid_ship_every: float = 0.0,
+        gc_period: float = 60.0,
+    ) -> None:
+        self.sim = Simulator()
+        self.schemas = list(schemas)
+        self.cost = CostModel(cost_config if cost_config is not None else CostConfig())
+        self.rng = RngStream(seed, "simcluster")
+        table_names = [s.name for s in self.schemas]
+        if conflict_map is None:
+            conflict_map = ConflictClassMap.single_class(table_names)
+        num_masters = min(conflict_map.num_classes, 2) if multi_master else 1
+        master_ids = [f"m{i}" for i in range(num_masters)]
+        conflict_map.assign_masters(master_ids)
+        self.conflict_map = conflict_map
+        self.schedulers: List[SchedulerAgent] = [
+            SchedulerAgent(
+                f"sched{i}",
+                VersionAwareScheduler(
+                    f"sched{i}",
+                    conflict_map,
+                    rng=self.rng.child(f"sched{i}"),
+                    spare_read_fraction=spare_read_fraction,
+                ),
+            )
+            for i in range(max(1, num_schedulers))
+        ]
+        self.nodes: Dict[str, InMemoryDbNode] = {}
+        self.rows_per_page = rows_per_page
+        for master_id in master_ids:
+            master = InMemoryDbNode(
+                self.sim, master_id, self.cost, self.schemas, cache_pages, rows_per_page
+            )
+            if multi_master and len(master_ids) > 1:
+                master.make_dual_master(
+                    {
+                        t for t in table_names
+                        if conflict_map.master_of_class(conflict_map.class_of(t)) == master_id
+                    }
+                )
+            else:
+                master.make_master()
+            self.nodes[master_id] = master
+        self._spare_ids: set = set()
+        for i in range(num_slaves):
+            self._add_slave(f"s{i}", cache_pages, spare=False)
+        for i in range(num_spares):
+            self._add_slave(f"spare{i}", cache_pages, spare=True)
+        self.metrics = Metrics()
+        self.timelines: List[FailoverTimeline] = []
+        self.scheduler_takeovers: List[Tuple[float, float]] = []  # (detected, done)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self._handled_failures: set = set()
+        self._browsers: List = []
+        self.sim.spawn(self._failure_detector(), name="failure-detector")
+        if checkpoint_period > 0:
+            self.sim.spawn(self._checkpoint_daemon(checkpoint_period), name="checkpointer")
+        if pageid_ship_every > 0:
+            self.sim.spawn(self._pageid_shipper(pageid_ship_every), name="pageid-shipper")
+        if gc_period > 0:
+            self.sim.spawn(self._gc_daemon(gc_period), name="version-gc")
+
+    def _gc_daemon(self, period: float):
+        """Periodic version GC on every slave (bounded index growth)."""
+        while True:
+            yield self.sim.timeout(period)
+            try:
+                latest = self.scheduler.latest
+            except NodeUnavailable:
+                continue
+            for node in self.nodes.values():
+                if node.alive and node.slave is not None and not node.slave.catching_up:
+                    node.slave.gc_versions(latest)
+
+    # -- scheduler group -----------------------------------------------------------------
+    @property
+    def scheduler(self) -> VersionAwareScheduler:
+        """The primary scheduler (lowest-id alive, ready agent)."""
+        for agent in self.schedulers:
+            if agent.alive and agent.ready:
+                return agent.scheduler
+        raise NodeUnavailable("no scheduler available")
+
+    def _alive_scheduler_agents(self) -> List[SchedulerAgent]:
+        return [a for a in self.schedulers if a.alive]
+
+    def _replicate_scheduler_state(self, source: VersionAwareScheduler) -> None:
+        """Replicate the version vector to peer schedulers (one-way delay)."""
+        state = source.export_state()
+        for agent in self.schedulers[1:]:
+            if agent.alive and agent.scheduler is not source:
+                self.sim.schedule(
+                    self.cost.config.net_latency, agent.scheduler.import_state, state
+                )
+
+    def kill_scheduler(self, agent_id: str) -> None:
+        for agent in self.schedulers:
+            if agent.agent_id == agent_id:
+                agent.alive = False
+                return
+        raise NodeUnavailable(f"no scheduler {agent_id}")
+
+    def kill_scheduler_at(self, agent_id: str, when: float) -> None:
+        self.sim.schedule(max(0.0, when - self.sim.now()), self.kill_scheduler, agent_id)
+
+    def _scheduler_takeover(self, successor: SchedulerAgent):
+        """§4.1: a peer takes over after the primary scheduler fails."""
+        detected = self.sim.now()
+        successor.ready = False
+        cfg = self.cost.config
+        # Ask the masters to abort uncommitted transactions and report
+        # their highest produced versions (one RPC round).
+        yield self.sim.timeout(cfg.rtt())
+        for node in self.nodes.values():
+            if node.alive and node.master is not None:
+                node.engine.abort_all_active(reason="scheduler-failure")
+                successor.scheduler.import_state(node.master.current_versions().as_dict())
+        # Rebuild the topology from ground truth and broadcast it.
+        sched = successor.scheduler
+        sched.slaves.clear()
+        sched.masters = {
+            n.node_id for n in self.nodes.values() if n.alive and n.master is not None
+        }
+        for node in self.nodes.values():
+            if node.alive and node.slave is not None and node.subscribed:
+                sched.add_slave(node.node_id, spare=node.node_id in self._spare_ids)
+        yield self.sim.timeout(cfg.rtt())
+        successor.ready = True
+        self.scheduler_takeovers.append((detected, self.sim.now()))
+
+    # -- topology ------------------------------------------------------------------------
+    def _add_slave(self, node_id: str, cache_pages: int, spare: bool) -> InMemoryDbNode:
+        node = InMemoryDbNode(
+            self.sim, node_id, self.cost, self.schemas, cache_pages, self.rows_per_page
+        )
+        node.make_slave()
+        self.nodes[node_id] = node
+        if spare:
+            self._spare_ids.add(node_id)
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.add_slave(node_id, spare=spare)
+        return node
+
+    def node(self, node_id: str) -> InMemoryDbNode:
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            raise NodeUnavailable(f"node {node_id} unavailable")
+        return node
+
+    def load(self, datagen) -> None:
+        """Populate every node identically (instant: pre-experiment setup).
+
+        Each node also snapshots the initial image into its stable store —
+        the "mmap an on-disk database" starting point, which is what bounds
+        worst-case migration to the modifications made since the run began.
+        """
+        from repro.cluster.sync import datagen_tables
+
+        for table, rows in datagen_tables(datagen):
+            for node in self.nodes.values():
+                node.engine.bulk_load(table, rows)
+        for node in self.nodes.values():
+            node.sql.invalidate_plans()
+            node.checkpoint()
+
+    def make_stale_backup(self, node_id: str) -> None:
+        """Unsubscribe a spare from replication (the Figure 5 stale backup)."""
+        self.nodes[node_id].subscribed = False
+
+    def warm_all_caches(self) -> None:
+        """Make every node's resident set complete (post-load steady state)."""
+        for node in self.nodes.values():
+            node.cache.warm(p.page_id for p in node.engine.store.all_pages())
+
+    def chill_cache(self, node_id: str) -> None:
+        self.nodes[node_id].cache.invalidate_all()
+
+    # -- replication ------------------------------------------------------------------------
+    def commit_update(self, node: InMemoryDbNode, txn, queries):
+        """Master pre-commit + eager broadcast + ack barrier (Figure 2)."""
+        cfg = self.cost.config
+        if not node.alive or not txn.active:
+            raise NodeUnavailable(f"master {node.node_id} failed before commit")
+        yield from node.cpu.acquire()
+        try:
+            write_set = node.master.pre_commit(txn)
+            if write_set is not None:
+                yield self.sim.timeout(self.cost.precommit_cpu(len(write_set.ops)))
+        finally:
+            node.cpu.release()
+        if write_set is not None:
+            acks = [
+                self.sim.spawn(self._replicate(write_set, target), name="repl")
+                for target in self.nodes.values()
+                if target.node_id != node.node_id
+                and target.alive
+                and target.slave is not None
+                and target.subscribed
+            ]
+            if acks:
+                yield self.sim.all_of(acks)
+            if not node.alive:
+                # Master died mid-broadcast: the commit was never confirmed
+                # to the scheduler, so recovery will discard these
+                # partially propagated modifications (paper §4.2).
+                raise NodeUnavailable(f"master {node.node_id} failed during commit")
+            primary = self.scheduler
+            primary.on_master_commit(node.node_id, write_set.versions, queries, txn.txn_id)
+            self._replicate_scheduler_state(primary)
+            node.master.finalize(txn)
+        yield self.sim.timeout(cfg.rtt())
+        return None
+
+    def _replicate(self, write_set, target: InMemoryDbNode):
+        cfg = self.cost.config
+        try:
+            yield self.sim.timeout(cfg.net_delay(write_set.byte_size()))
+            if not target.alive:
+                return False
+            yield target.job(target.receive_write_set(write_set), "recv")
+            yield self.sim.timeout(cfg.net_delay(64))
+            return True
+        except (NodeUnavailable, TransactionAborted):
+            return False
+
+    # -- failure injection & detection ---------------------------------------------------------
+    def kill_node(self, node_id: str) -> None:
+        node = self.nodes[node_id]
+        node.failed_at = self.sim.now()
+        node.fail()
+
+    def kill_node_at(self, node_id: str, when: float) -> None:
+        self.sim.schedule(max(0.0, when - self.sim.now()), self.kill_node, node_id)
+
+    def _failure_detector(self):
+        missed: Dict[str, int] = {}
+        while True:
+            yield self.sim.timeout(self.heartbeat_interval)
+            for node_id, node in list(self.nodes.items()):
+                if node.alive:
+                    missed[node_id] = 0
+                    continue
+                if node_id in self._handled_failures:
+                    continue
+                missed[node_id] = missed.get(node_id, 0) + 1
+                if missed[node_id] >= self.heartbeat_misses:
+                    self._handled_failures.add(node_id)
+                    self.sim.spawn(self._reconfigure(node_id), name="reconfigure")
+            # Peer schedulers watch each other (paper §4.1).
+            for index, agent in enumerate(self.schedulers):
+                if agent.alive:
+                    missed[agent.agent_id] = 0
+                    continue
+                if agent.agent_id in self._handled_failures:
+                    continue
+                missed[agent.agent_id] = missed.get(agent.agent_id, 0) + 1
+                if missed[agent.agent_id] >= self.heartbeat_misses:
+                    self._handled_failures.add(agent.agent_id)
+                    was_primary = all(not a.alive for a in self.schedulers[:index])
+                    successor = next((a for a in self.schedulers if a.alive), None)
+                    if was_primary and successor is not None:
+                        self.sim.spawn(
+                            self._scheduler_takeover(successor), name="sched-takeover"
+                        )
+
+    def _reconfigure(self, failed_id: str):
+        """Timed failure reconfiguration (paper §4.1-4.5)."""
+        failed = self.nodes[failed_id]
+        timeline = FailoverTimeline(
+            failure_time=failed.failed_at or self.sim.now(),
+            detection_time=self.sim.now(),
+        )
+        self.timelines.append(timeline)
+        cfg = self.cost.config
+        was_master = failed.master is not None
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.remove_node(failed_id)
+        if was_master:
+            confirmed = self.scheduler.latest.copy()
+            # Phase 1 (Recovery): ask every replica to discard unconfirmed
+            # write-sets; one RPC round plus the discard work, plus the
+            # fixed abort/election/topology coordination overhead.  Only the
+            # FAILED master's conflict classes are cleaned — other masters'
+            # in-flight pre-commits are still live.
+            cleanup_vector = confirmed.copy()
+            for table in self.conflict_map.tables:
+                owner = self.conflict_map.master_of_class(self.conflict_map.class_of(table))
+                if owner != failed_id:
+                    cleanup_vector.set(table, 1 << 60)
+            survivors = [
+                n for n in self.nodes.values() if n.alive and n.slave is not None
+            ]
+            yield self.sim.timeout(cfg.rtt())
+            dropped = cleanup_after_master_failure(
+                [n.slave for n in survivors if n.subscribed], cleanup_vector
+            )
+            yield self.sim.timeout(self.cost.apply_cpu(dropped) + cfg.recovery_overhead)
+            # Elect + promote the lowest-id active (non-spare) slave.
+            pure_slaves = [n for n in survivors if n.master is None]
+            candidates = [
+                n.slave for n in pure_slaves if not self._is_spare(n.node_id) and n.subscribed
+            ] or [n.slave for n in pure_slaves if n.subscribed]
+            new_slave = elect_new_master(candidates)
+            # Stop routing reads to the promotee before promotion begins.
+            for agent in self._alive_scheduler_agents():
+                agent.scheduler.remove_node(new_slave.node_id)
+            new_node = self.nodes[new_slave.node_id]
+            # In multi-master mode the promotee inherits only the failed
+            # master's conflict classes and stays a slave for the rest.
+            other_masters_alive = any(
+                n.alive and n.master is not None and n.node_id != failed_id
+                for n in self.nodes.values()
+            )
+            owned = None
+            if other_masters_alive:
+                owned = {
+                    t
+                    for t in self.conflict_map.tables
+                    if self.conflict_map.master_of_class(self.conflict_map.class_of(t))
+                    == failed_id
+                }
+            yield new_node.job(self._promotion_job(new_node, confirmed, owned), "promote")
+            for agent in self._alive_scheduler_agents():
+                agent.scheduler.on_master_failure(failed_id, new_slave.node_id)
+        timeline.recovery_done = self.sim.now()
+        # Spare promotion: backfill active capacity from the spare pool.
+        spares = self.scheduler.spare_slaves()
+        need_backfill = was_master or not self.scheduler.active_slaves()
+        if spares and need_backfill:
+            spare_node = self.nodes[spares[0].node_id]
+            if not spare_node.subscribed:
+                # Stale backup: catch it up via data migration first.
+                yield from self._timed_migration(spare_node, timeline)
+            self._spare_ids.discard(spare_node.node_id)
+            for agent in self._alive_scheduler_agents():
+                if spare_node.node_id in agent.scheduler.slaves:
+                    agent.scheduler.promote_spare(spare_node.node_id)
+        timeline.migration_done = self.sim.now()
+
+    def _promotion_job(self, node: InMemoryDbNode, confirmed, owned_tables=None):
+        yield from node.cpu.acquire()
+        try:
+            pending = node.slave.pending_op_count()
+            slave = node.slave
+            node.master = promote_slave_to_master(slave, confirmed)
+            if owned_tables is not None:
+                # Multi-master: keep a slave role for non-owned classes.
+                from repro.core.dual import DualController
+
+                node.engine.set_controller(DualController(set(owned_tables), slave))
+                node.slave = slave
+            else:
+                node.slave = None
+            # Applying the buffered ops costs CPU proportional to their count.
+            yield self.sim.timeout(self.cost.apply_cpu(pending))
+        finally:
+            node.cpu.release()
+
+    def _is_spare(self, node_id: str) -> bool:
+        state = self.scheduler.slaves.get(node_id)
+        return bool(state and state.spare)
+
+    def _timed_migration(self, node: InMemoryDbNode, timeline: FailoverTimeline):
+        """Version-aware page transfer into ``node`` with time charged."""
+        cfg = self.cost.config
+        support_node = next(
+            (
+                n
+                for n in self.nodes.values()
+                if n.alive and n.slave is not None and n.subscribed and n.node_id != node.node_id
+            ),
+            None,
+        )
+        if support_node is None:
+            master = next(n for n in self.nodes.values() if n.alive and n.master is not None)
+            # Degenerate single-survivor case: migrate from the master's
+            # engine state via a temporary slave view.
+            node.subscribed = True
+            node.slave.catching_up = True
+            images = [
+                page.snapshot() for page in master.engine.store.all_pages()
+            ]
+            from repro.storage.checkpoint import PageImage
+
+            for snap in images:
+                node.slave.receive_page(PageImage(snap.page_id, snap.version, snap))
+            node.slave.finish_catchup()
+            nbytes = sum(i.byte_size() for i in images)
+            yield self.sim.timeout(cfg.net_delay(nbytes))
+            timeline.migration_pages += len(images)
+            timeline.migration_bytes += nbytes
+            return
+        node.subscribed = True
+        node.slave.catching_up = True
+        stats = integrate_stale_node(node.slave, support_node.slave)
+        work = stats.pages_sent + stats.ops_index_applied
+        yield support_node.job(self._migration_cpu(support_node, work), "migrate-src")
+        yield self.sim.timeout(cfg.net_delay(stats.bytes_sent))
+        yield node.job(self._migration_cpu(node, work), "migrate-dst")
+        # Migrated pages were just written into memory: they are resident.
+        node.cache.warm(stats.page_ids)
+        timeline.migration_pages += stats.pages_sent
+        timeline.migration_bytes += stats.bytes_sent
+
+    # -- reintegration (timed reboot + data migration) ---------------------------------------------
+    def reintegrate(self, node_id: str, support_id: Optional[str] = None, spare: bool = False):
+        """Spawn the reintegration process; returns it (wait or observe)."""
+        return self.sim.spawn(self._reintegrate(node_id, support_id, spare), name="reintegrate")
+
+    def _reintegrate(self, node_id: str, support_id: Optional[str], spare: bool):
+        node = self.nodes[node_id]
+        timeline = FailoverTimeline(
+            failure_time=node.failed_at or self.sim.now(), detection_time=self.sim.now()
+        )
+        node.restart_resources()
+        node.make_slave()
+        node.subscribed = True
+        self._handled_failures.discard(node_id)
+        # Reboot: restore from the local fuzzy checkpoint (sequential read),
+        # with a cold OS page cache.
+        restore_from_checkpoint(node.slave, node.stable)
+        node.cache.invalidate_all()
+        restore_bytes = sum(
+            image.page.byte_size() for image in node.stable._images.values()
+        )
+        yield self.sim.timeout(self.cost.sequential_disk(restore_bytes))
+        timeline.recovery_done = self.sim.now()
+        yield from self._timed_migration(node, timeline)
+        timeline.migration_done = self.sim.now()
+        self.timelines.append(timeline)
+        if spare:
+            self._spare_ids.add(node_id)
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.add_slave(node_id, spare=spare)
+        return timeline
+
+    def _migration_cpu(self, node: InMemoryDbNode, work_units: int):
+        yield from node.cpu.acquire()
+        try:
+            yield self.sim.timeout(self.cost.config.cpu_per_op_apply * work_units)
+        finally:
+            node.cpu.release()
+
+    # -- background daemons -------------------------------------------------------------------------
+    def _checkpoint_daemon(self, period: float):
+        while True:
+            yield self.sim.timeout(period)
+            for node in self.nodes.values():
+                if node.alive and node.slave is not None:
+                    node.checkpoint()
+
+    def _pageid_shipper(self, period: float):
+        """Ship hot page ids from an active slave to every spare (Fig. 9)."""
+        cfg = self.cost.config
+        while True:
+            yield self.sim.timeout(period)
+            actives = [
+                self.nodes[s.node_id]
+                for s in self.scheduler.active_slaves()
+                if self.nodes[s.node_id].alive
+            ]
+            spares = [
+                self.nodes[s.node_id]
+                for s in self.scheduler.spare_slaves()
+                if self.nodes[s.node_id].alive
+            ]
+            if not actives or not spares:
+                continue
+            source = actives[0]
+            ids = source.cache.hottest(source.cache.resident_count())
+            for spare in spares:
+                yield self.sim.timeout(cfg.net_delay(8 * len(ids)))
+                if spare.alive:
+                    spare.cache.warm(reversed(ids))
+
+    # -- client driving --------------------------------------------------------------------------------
+    def start_browsers(
+        self,
+        count: int,
+        mix: Mix,
+        scale: TpcwScale,
+        sequences: Optional[SharedSequences] = None,
+        think_time_mean: float = 7.0,
+        max_retries: int = 8,
+    ) -> None:
+        sequences = sequences if sequences is not None else SharedSequences(scale)
+        base = len(self._browsers)
+        for i in range(count):
+            browser = EmulatedBrowser(
+                browser_id=base + i,
+                mix=mix,
+                scale=scale,
+                sequences=sequences,
+                rng=self.rng.child(f"eb{base + i}"),
+                now=self.sim.now,
+                think_time_mean=think_time_mean,
+            )
+            self._browsers.append(browser)
+            self.sim.spawn(self._browser_loop(browser, max_retries), name=f"eb{base + i}")
+
+    def _browser_loop(self, browser: EmulatedBrowser, max_retries: int):
+        while True:
+            name = browser.pick()
+            start = self.sim.now()
+            attempts = 0
+            while True:
+                conn = SimConnection(self)
+                gen = browser.start(name, conn)
+                try:
+                    yield from self._drive(gen, conn)
+                    self.metrics.record_completion(self.sim.now(), self.sim.now() - start)
+                    break
+                except (TransactionAborted, NodeUnavailable) as exc:
+                    gen.close()
+                    conn.cleanup()
+                    reason = getattr(exc, "reason", "node-failure")
+                    self.metrics.record_retry(reason)
+                    attempts += 1
+                    if attempts > max_retries:
+                        self.metrics.failed += 1
+                        break
+                    yield self.sim.timeout(0.1 * attempts)
+            yield self.sim.timeout(browser.think_time())
+
+    def _drive(self, gen, conn: SimConnection):
+        value = None
+        while True:
+            try:
+                effect = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = yield effect
+
+    # -- experiment control ------------------------------------------------------------------------------
+    def run(self, until: float) -> float:
+        return self.sim.run(until=until)
+
+    def abort_counts(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for node in self.nodes.values():
+            for key, value in node.counters.snapshot().items():
+                if key.startswith("engine.aborts.") or key == "slave.version_aborts":
+                    out[key] = out.get(key, 0) + value
+        return out

@@ -1,0 +1,331 @@
+"""Simulated cluster nodes: CPUs, caches, disks, failure semantics.
+
+Every node owns a capacity-``cores`` CPU resource; statement execution runs
+the *real* engine code and then holds the CPU for the service time the cost
+model derives from the instrumented work.  In-memory nodes additionally pay
+page-fault time for cache misses; on-disk nodes serialise their I/O through
+a capacity-1 disk resource.
+
+Failure injection marks the node dead, interrupts its in-flight jobs
+(delivered to clients as :class:`NodeUnavailable`) and — for in-memory
+nodes — models memory loss at reintegration time via the checkpoint-restore
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.counters import Counters
+from repro.common.errors import NodeUnavailable, TransactionAborted
+from repro.cluster.costs import CostModel
+from repro.core.master import MasterReplica
+from repro.core.slave import SlaveReplica
+from repro.core.writeset import WriteSet
+from repro.disk.database import DiskDatabase
+from repro.engine.engine import HeapEngine, LockWait, TwoPhaseLocking
+from repro.engine.schema import TableSchema
+from repro.sim.kernel import Interrupt, Process, Simulator
+from repro.sim.resources import Resource
+from repro.sql.executor import SqlExecutor
+from repro.storage.cache import PageCache
+from repro.storage.checkpoint import FuzzyCheckpointer, StableStore
+
+
+class SimNode:
+    """Base: CPU resource, liveness, tracked jobs."""
+
+    def __init__(self, sim: Simulator, node_id: str, cost: CostModel) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.cost = cost
+        self.cpu = Resource(sim, cost.config.cores_per_node)
+        self.alive = True
+        self._jobs: Set[Process] = set()
+
+    def job(self, gen, name: str = "job") -> Process:
+        """Spawn a tracked job; interrupts surface as NodeUnavailable."""
+        if not self.alive:
+            raise NodeUnavailable(f"node {self.node_id} is down")
+        process = self.sim.spawn(self._guard(gen), name=f"{self.node_id}/{name}")
+        self._jobs.add(process)
+        process.add_callback(lambda _e: self._jobs.discard(process))
+        return process
+
+    def _guard(self, gen):
+        try:
+            result = yield from gen
+            return result
+        except Interrupt:
+            raise NodeUnavailable(f"node {self.node_id} failed mid-request")
+
+    def fail(self) -> None:
+        """Fail-stop: kill in-flight work, stop accepting jobs."""
+        self.alive = False
+        for process in list(self._jobs):
+            process.interrupt("node-failure")
+        self._jobs.clear()
+
+    def restart_resources(self) -> None:
+        """Fresh CPU after a reboot (old grants died with the node)."""
+        self.cpu = Resource(self.sim, self.cost.config.cores_per_node)
+        self.alive = True
+
+
+class InMemoryDbNode(SimNode):
+    """One replica of the in-memory DMV tier."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        cost: CostModel,
+        schemas: Sequence[TableSchema],
+        cache_pages: int = 1 << 30,
+        rows_per_page: int = 64,
+    ) -> None:
+        super().__init__(sim, node_id, cost)
+        self.counters = Counters()
+        self.cache = PageCache(cache_pages, self.counters)
+        self.engine = HeapEngine(
+            counters=self.counters, cache=self.cache, name=node_id,
+            rows_per_page=rows_per_page,
+        )
+        for schema in schemas:
+            self.engine.create_table(schema)
+        self.sql = SqlExecutor(self.engine, now=sim.now)
+        self.master: Optional[MasterReplica] = None
+        self.slave: Optional[SlaveReplica] = None
+        self.stable = StableStore(self.counters)
+        self.checkpointer = FuzzyCheckpointer(self.engine.store, self.stable)
+        #: Subscribed nodes receive the masters' write-set broadcasts; a
+        #: *stale backup* (Figure 5) is deliberately unsubscribed.
+        self.subscribed = True
+        #: Set by the cluster's failure injection (for timeline reporting).
+        self.failed_at: Optional[float] = None
+
+    # -- role setup -------------------------------------------------------------------
+    def make_master(self) -> None:
+        self.engine.set_controller(TwoPhaseLocking())
+        self.master = MasterReplica(self.node_id, engine=self.engine, counters=self.counters)
+        self.slave = None
+
+    def make_slave(self) -> None:
+        self.slave = SlaveReplica(self.node_id, engine=self.engine, counters=self.counters)
+        self.master = None
+
+    def make_dual_master(self, owned_tables) -> None:
+        """Multi-master role: master for ``owned_tables``, slave for the rest."""
+        from repro.core.dual import DualController
+
+        self.slave = SlaveReplica(self.node_id, engine=self.engine, counters=self.counters)
+        self.engine.set_controller(DualController(set(owned_tables), self.slave))
+        self.master = MasterReplica(self.node_id, engine=self.engine, counters=self.counters)
+
+    # -- statement execution (job generator) -----------------------------------------------
+    def exec_statement(self, txn, sql: str, params: Sequence):
+        """Execute one statement: real work, then virtual service time.
+
+        Lock waits release the CPU, wait for the grant and retry the
+        statement from its savepoint — the blocking the paper's master
+        experiences under the ordering mix.
+        """
+        while True:
+            if not txn.active:
+                # Node-side reconfiguration (e.g. promotion) rolled this
+                # transaction back between statements/retries.
+                raise TransactionAborted(
+                    f"txn {txn.txn_id} aborted by reconfiguration", reason="node-failure"
+                )
+            yield from self.cpu.acquire()
+            holding = True
+            try:
+                snapshot = self.counters.snapshot()
+                savepoint = txn.savepoint()
+                try:
+                    result = self.sql.execute(txn, sql, tuple(params))
+                except LockWait as wait:
+                    self.engine.rollback_to(txn, savepoint)
+                    delta = self.counters.delta_since(snapshot)
+                    yield self.sim.timeout(self.cost.statement_cpu(delta))
+                    holding = False
+                    self.cpu.release()
+                    granted = self.sim.event()
+                    wait.request.on_grant(
+                        lambda _r: None if granted.triggered else granted.succeed(None)
+                    )
+                    yield granted
+                    continue
+                delta = self.counters.delta_since(snapshot)
+                service = self.cost.statement_cpu(delta) + self.cost.fault_time(delta)
+                yield self.sim.timeout(service)
+                return result
+            finally:
+                if holding:
+                    self.cpu.release()
+
+    def receive_write_set(self, write_set: WriteSet):
+        """Eager receive path.
+
+        Runs on the replication thread, which interleaves with query
+        execution rather than queueing behind whole statements — so the
+        receive cost is charged as elapsed time without occupying a query
+        core.  (Acks must return promptly or every master commit would
+        stall behind the slowest slave's longest-running query.)
+        """
+        if self.slave is not None:
+            self.slave.receive(write_set)
+        yield self.sim.timeout(self.cost.receive_cpu(len(write_set.ops)))
+
+    def touch_pages_job(self, page_ids):
+        """Page-id warm-up: touch shipped pages (fault them in)."""
+        yield from self.cpu.acquire()
+        try:
+            new = self.cache.warm(page_ids)
+            # Faulting the pages in costs page-in time, but off the critical
+            # path of any request; charge it on the CPU at full rate.
+            yield self.sim.timeout(new * self.cost.config.page_fault_cost)
+            return new
+        finally:
+            self.cpu.release()
+
+    def fail(self) -> None:
+        super().fail()
+        # Memory is lost with the node; rolling in-flight transactions back
+        # keeps the (reused) Python objects consistent for reintegration.
+        self.engine.abort_all_active(reason="node-failure")
+
+    # -- maintenance ----------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        return self.checkpointer.full_checkpoint(self.engine.page_is_dirty)
+
+    def warm_fraction(self) -> float:
+        resident = self.cache.resident_count()
+        total = max(1, self.engine.store.page_count())
+        return min(1.0, resident / total)
+
+
+class DiskDbNode(SimNode):
+    """One replica of the on-disk (InnoDB stand-in) tier."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        cost: CostModel,
+        schemas: Sequence[TableSchema],
+        pool_pages: int = 2048,
+        rows_per_page: int = 64,
+    ) -> None:
+        super().__init__(sim, node_id, cost)
+        self.db = DiskDatabase(
+            node_id, pool_pages=pool_pages, disk=cost.config.disk, now=sim.now,
+            rows_per_page=rows_per_page,
+        )
+        for schema in schemas:
+            self.db.create_table(schema)
+        self.counters = self.db.counters
+        self.disk = Resource(sim, 1)
+        #: Log replays (periodic refresh, failover catch-up) must not
+        #: interleave or entries would apply out of commit order.
+        self.replay_mutex = Resource(sim, 1)
+
+    def fail(self) -> None:
+        super().fail()
+        self.db.engine.abort_all_active(reason="node-failure")
+
+    def restart_resources(self) -> None:
+        super().restart_resources()
+        self.disk = Resource(self.sim, 1)
+
+    def exec_statement(self, txn, sql: str, params: Sequence):
+        """CPU work, then any implied random I/O through the disk."""
+        while True:
+            if not txn.active:
+                raise TransactionAborted(
+                    f"txn {txn.txn_id} aborted by reconfiguration", reason="node-failure"
+                )
+            yield from self.cpu.acquire()
+            holding = True
+            try:
+                snapshot = self.counters.snapshot()
+                savepoint = txn.savepoint()
+                try:
+                    result = self.db.sql.execute(txn, sql, tuple(params))
+                except LockWait as wait:
+                    self.db.engine.rollback_to(txn, savepoint)
+                    delta = self.counters.delta_since(snapshot)
+                    yield self.sim.timeout(self.cost.statement_cpu(delta))
+                    holding = False
+                    self.cpu.release()
+                    granted = self.sim.event()
+                    wait.request.on_grant(
+                        lambda _r: None if granted.triggered else granted.succeed(None)
+                    )
+                    yield granted
+                    continue
+                delta = self.counters.delta_since(snapshot)
+                yield self.sim.timeout(self.cost.statement_cpu(delta))
+                holding = False
+                self.cpu.release()
+                io_time = self.cost.disk_time(delta)
+                if io_time > 0:
+                    yield from self.disk.acquire()
+                    try:
+                        yield self.sim.timeout(io_time)
+                    finally:
+                        self.disk.release()
+                return result
+            finally:
+                if holding:
+                    self.cpu.release()
+
+    def commit_job(self, txn):
+        """Commit: engine commit + WAL fsync through the disk resource."""
+        yield from self.cpu.acquire()
+        try:
+            snapshot = self.counters.snapshot()
+            self.db.commit(txn)
+            delta = self.counters.delta_since(snapshot)
+        finally:
+            self.cpu.release()
+        io_time = self.cost.disk_time(delta)
+        if io_time > 0:
+            yield from self.disk.acquire()
+            try:
+                yield self.sim.timeout(io_time)
+            finally:
+                self.disk.release()
+
+    def replay_job(self, entries, log_bytes: int = 0):
+        """Replay logged updates (backup refresh / failover DB-update)."""
+        yield from self.replay_mutex.acquire()
+        try:
+            yield from self._replay_locked(entries, log_bytes)
+        finally:
+            self.replay_mutex.release()
+        return len(entries)
+
+    def _replay_locked(self, entries, log_bytes: int):
+        if log_bytes:
+            yield from self.disk.acquire()
+            try:
+                yield self.sim.timeout(self.cost.sequential_disk(log_bytes))
+            finally:
+                self.disk.release()
+        for entry in entries:
+            yield from self.cpu.acquire()
+            try:
+                snapshot = self.counters.snapshot()
+                self.db.apply_logged_update(entry)
+                delta = self.counters.delta_since(snapshot)
+                yield self.sim.timeout(self.cost.statement_cpu(delta))
+            finally:
+                self.cpu.release()
+            io_time = self.cost.disk_time(delta)
+            if io_time > 0:
+                yield from self.disk.acquire()
+                try:
+                    yield self.sim.timeout(io_time)
+                finally:
+                    self.disk.release()

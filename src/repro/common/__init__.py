@@ -1,0 +1,38 @@
+"""Shared foundations: errors, identifiers, deterministic RNG, counters.
+
+Everything in :mod:`repro` builds on these small utilities.  They carry no
+simulation or database semantics of their own, which keeps the dependency
+graph a strict DAG: ``common`` <- ``sim`` <- ``storage`` <- ``engine`` <- ...
+"""
+
+from repro.common.errors import (
+    ReproError,
+    TransactionAborted,
+    VersionInconsistency,
+    DeadlockDetected,
+    NodeUnavailable,
+    SchemaError,
+    SqlError,
+    ConfigError,
+)
+from repro.common.ids import IdAllocator, NodeId, PageId, TxnId
+from repro.common.rng import RngStream, derive_seed
+from repro.common.counters import Counters
+
+__all__ = [
+    "ReproError",
+    "TransactionAborted",
+    "VersionInconsistency",
+    "DeadlockDetected",
+    "NodeUnavailable",
+    "SchemaError",
+    "SqlError",
+    "ConfigError",
+    "IdAllocator",
+    "NodeId",
+    "PageId",
+    "TxnId",
+    "RngStream",
+    "derive_seed",
+    "Counters",
+]

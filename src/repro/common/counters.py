@@ -1,0 +1,49 @@
+"""Lightweight instrumentation counters.
+
+A :class:`Counters` object is threaded through the storage engine, the
+replication protocol and the schedulers.  The simulation's cost model reads
+the *deltas* produced by one request to charge service time, and the
+benchmark harness reads the totals to report abort rates, bytes shipped,
+cache hit ratios, and so on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping
+
+
+class Counters:
+    """A named bag of monotonic counters with cheap snapshot/delta support."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all counter values at this instant."""
+        return dict(self._values)
+
+    def delta_since(self, snapshot: Mapping[str, float]) -> Dict[str, float]:
+        """Per-counter difference between now and a prior :meth:`snapshot`."""
+        out: Dict[str, float] = {}
+        for name, value in self._values.items():
+            diff = value - snapshot.get(name, 0.0)
+            if diff:
+                out[name] = diff
+        return out
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in self)
+        return f"Counters({inner})"

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the DMV reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Transaction-level failures derive from
+:class:`TransactionAborted`; application code is expected to retry those,
+exactly as a client of a replicated database would.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SchemaError(ReproError):
+    """A table, column or index does not exist or is malformed."""
+
+
+class SqlError(ReproError):
+    """A SQL statement could not be lexed, parsed or planned."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was rolled back and its effects discarded.
+
+    The ``reason`` attribute carries a short machine-readable cause, e.g.
+    ``"deadlock"``, ``"version-inconsistency"`` or ``"node-failure"``.
+    """
+
+    def __init__(self, message: str, reason: str = "abort") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class VersionInconsistency(TransactionAborted):
+    """A read-only transaction observed conflicting page versions.
+
+    Raised when a page needed at version ``required`` has already been
+    advanced to a higher version by a concurrent reader at the same replica
+    (the paper's Section 2.2 abort case).  The scheduler retries the
+    transaction, typically with a newer version tag or on another replica.
+    """
+
+    def __init__(self, message: str, required: int = -1, found: int = -1) -> None:
+        super().__init__(message, reason="version-inconsistency")
+        self.required = required
+        self.found = found
+
+
+class DeadlockDetected(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="deadlock")
+
+
+class NodeUnavailable(ReproError):
+    """The target node failed or was removed from the cluster topology."""

@@ -1,0 +1,41 @@
+"""Typed identifiers used throughout the cluster.
+
+``NodeId`` and ``TxnId`` are plain ``str``/``int`` aliases — the type names
+exist to make signatures self-documenting.  ``PageId`` is a real value type
+because pages are addressed by (table, page number) pairs everywhere in the
+replication protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+NodeId = str
+TxnId = int
+
+
+@dataclass(frozen=True, order=True)
+class PageId:
+    """Address of one storage page: a table name plus a page number."""
+
+    table: str
+    number: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.table}#{self.number}"
+
+
+class IdAllocator:
+    """Monotonic integer id source, one instance per id space.
+
+    Deliberately not thread-safe: in simulation mode everything runs on one
+    thread, and in live mode each node owns its own allocator.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        """Return the next unused id."""
+        return next(self._counter)

@@ -1,0 +1,30 @@
+"""Dynamic Multiversioning: the paper's replication protocol.
+
+Pure protocol state machines with no simulation or transport dependencies:
+
+* :class:`WriteSet` — the pre-commit broadcast payload,
+* :class:`MasterReplica` — update execution, atomic version increment,
+  write-set generation (Figure 2 of the paper),
+* :class:`SlaveReplica` — eager write-set buffering, eager index
+  maintenance, *lazy* per-page version materialisation with
+  version-inconsistency abort detection,
+* :class:`ConflictClassMap` — table-set based conflict classes for
+  multi-master update distribution.
+
+The cluster layer (:mod:`repro.cluster`) moves write-sets and acks between
+these objects; the scheduler layer (:mod:`repro.scheduler`) decides where
+transactions run and what version tags they carry.
+"""
+
+from repro.core.writeset import WriteSet
+from repro.core.master import MasterReplica
+from repro.core.slave import SlaveController, SlaveReplica
+from repro.core.conflictclass import ConflictClassMap
+
+__all__ = [
+    "WriteSet",
+    "MasterReplica",
+    "SlaveReplica",
+    "SlaveController",
+    "ConflictClassMap",
+]

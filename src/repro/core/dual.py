@@ -1,0 +1,54 @@
+"""Dual-role access control for multi-master deployments.
+
+With disjoint conflict classes on multiple masters, each master is also a
+slave for every class it does not own: it receives other masters' write-
+sets and materialises their pages lazily like any slave, while running 2PL
+on its own tables.  This controller dispatches per table.
+"""
+
+from __future__ import annotations
+
+from typing import Set, TYPE_CHECKING
+
+from repro.common.errors import VersionInconsistency
+from repro.engine.engine import AccessController, TwoPhaseLocking
+from repro.engine.txn import Transaction
+from repro.storage.page import Page
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.slave import SlaveReplica
+
+
+class DualController(AccessController):
+    """2PL for owned tables, lazy slave materialisation for the rest."""
+
+    def __init__(self, owned_tables: Set[str], slave: "SlaveReplica") -> None:
+        self.owned = set(owned_tables)
+        self.twopl = TwoPhaseLocking()
+        self.slave = slave
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        self.twopl.attach(engine)
+
+    def before_read(self, txn: Transaction, page: Page) -> None:
+        if page.page_id.table in self.owned:
+            self.twopl.before_read(txn, page)
+        else:
+            self.slave.materialize(page, txn)
+
+    def before_write(self, txn: Transaction, page: Page) -> None:
+        if page.page_id.table not in self.owned:
+            raise VersionInconsistency(
+                f"table {page.page_id.table} is not owned by this master"
+            )
+        self.twopl.before_write(txn, page)
+
+    def on_finish(self, txn: Transaction) -> None:
+        self.twopl.on_finish(txn)
+
+    def page_is_dirty(self, page: Page) -> bool:
+        return self.twopl.page_is_dirty(page)
+
+    def write_locked_by_other(self, txn: Transaction, page: Page) -> bool:
+        return self.twopl.write_locked_by_other(txn, page)

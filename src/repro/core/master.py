@@ -1,0 +1,99 @@
+"""The master replica: update execution and pre-commit write-set generation.
+
+Implements the paper's Figure 2::
+
+    MasterPreCommit(PS):
+        WS = CreateWriteSet(PS)
+        Increment(DBVerVector, WS)        # atomic
+        for each replica R: SendUpdate(R, WS, DBVerVector); WaitForAck(R)
+        return DBVerVector
+
+The transport (waiting for acks) is the cluster layer's job; this class
+provides the atomic increment + write-set construction
+(:meth:`pre_commit`), the local commit after acks (:meth:`finalize`), and
+abort paths.  The master's engine runs page-granular two-phase locking, so
+non-conflicting update transactions execute concurrently and the 2PL order
+is the serialization order the version vector names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.counters import Counters
+from repro.common.errors import TransactionAborted
+from repro.common.ids import NodeId
+from repro.common.versions import VersionVector
+from repro.engine.engine import HeapEngine, TwoPhaseLocking
+from repro.engine.txn import Transaction, TxnMode
+from repro.core.writeset import WriteSet
+
+
+class MasterReplica:
+    """One master database: owns update transactions for its conflict class."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        engine: Optional[HeapEngine] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.counters = counters if counters is not None else Counters()
+        if engine is None:
+            engine = HeapEngine(
+                controller=TwoPhaseLocking(), counters=self.counters, name=f"master:{node_id}"
+            )
+        self.engine = engine
+
+    # -- transaction lifecycle ---------------------------------------------------
+    def begin_update(self, write_tables=()) -> Transaction:
+        return self.engine.begin(TxnMode.UPDATE, write_intent=write_tables)
+
+    def begin_read_only(self) -> Transaction:
+        """Reads on the master see current state (tables outside its class)."""
+        return self.engine.begin(TxnMode.READ_ONLY)
+
+    def pre_commit(self, txn: Transaction) -> Optional[WriteSet]:
+        """Figure 2 lines 2-3: freeze the write-set, increment DBVersion.
+
+        Returns ``None`` for transactions with an empty write-set (nothing
+        to replicate; the caller commits locally and skips the broadcast).
+        The version increment and the write-set construction happen in one
+        synchronous step, so write-sets from this master carry per-table
+        versions in send order — the slave-side per-page queues rely on it.
+        """
+        ops = self.engine.prepare_commit(txn)
+        if not ops:
+            self.engine.stamp_commit(txn, {})
+            self.engine.finish_commit(txn)
+            return None
+        self.engine.versions.increment(txn.tables_written)
+        commit_versions: Dict[str, int] = {
+            table: self.engine.versions.get(table) for table in txn.tables_written
+        }
+        self.engine.stamp_commit(txn, commit_versions)
+        self.counters.add("master.write_sets")
+        self.counters.add("master.ops_replicated", len(ops))
+        return WriteSet(self.node_id, txn.txn_id, tuple(ops), commit_versions)
+
+    def finalize(self, txn: Transaction) -> None:
+        """Commit locally after all replicas acknowledged (releases locks)."""
+        self.engine.finish_commit(txn)
+
+    def abort(self, txn: Transaction, reason: str = "abort") -> None:
+        self.engine.abort(txn, reason=reason)
+
+    # -- recovery support ------------------------------------------------------------
+    def current_versions(self) -> VersionVector:
+        return self.engine.versions.copy()
+
+    def abort_all_active(self) -> int:
+        """Scheduler-failure cleanup: abort every in-flight transaction."""
+        return self.engine.abort_all_active(reason="scheduler-failure")
+
+    def ensure_can_commit(self, txn: Transaction) -> None:
+        if not txn.active:
+            raise TransactionAborted(
+                f"txn {txn.txn_id} is {txn.state.value}", reason="not-active"
+            )

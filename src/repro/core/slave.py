@@ -1,0 +1,299 @@
+"""The slave replica: eager buffering, lazy per-page version materialisation.
+
+A slave receives every master write-set *before* the master's commit is
+acknowledged (eager propagation), but applies page modifications only when
+a read-only transaction tagged with a version vector actually touches the
+page (lazy application).  This is the core of Dynamic Multiversioning:
+
+* each page's pending-op queue holds committed-but-unapplied modifications
+  in version order;
+* a read at tag ``V`` applies pending ops with ``version <= V[table]`` and
+  leaves the rest queued — materialising exactly the snapshot it must see;
+* if the page has already been advanced *past* the reader's tag by a
+  concurrent reader with a newer tag, the transaction aborts with
+  :class:`~repro.common.errors.VersionInconsistency` (the paper's rare
+  abort case, kept under 2.5 % by version-aware scheduling);
+* index entries are maintained eagerly on receipt (see DESIGN.md
+  substitution #3), so lookups at any tag are correct even while data pages
+  lag.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.counters import Counters
+from repro.common.errors import VersionInconsistency
+from repro.common.ids import NodeId, PageId
+from repro.common.versions import VersionVector
+from repro.engine.engine import AccessController, HeapEngine
+from repro.engine.txn import Transaction, TxnMode
+from repro.storage.checkpoint import PageImage
+from repro.storage.ops import apply_op
+from repro.storage.page import Page
+from repro.core.writeset import WriteSet
+
+
+class SlaveController(AccessController):
+    """Access controller wiring engine page reads to lazy materialisation."""
+
+    def __init__(self, slave: "SlaveReplica") -> None:
+        self.slave = slave
+
+    def before_read(self, txn: Transaction, page: Page) -> None:
+        self.slave.materialize(page, txn)
+
+    def before_write(self, txn: Transaction, page: Page) -> None:
+        raise VersionInconsistency(
+            f"slave {self.slave.node_id} cannot execute writes", required=-1, found=-1
+        )
+
+
+class SlaveReplica:
+    """One slave database replica of the in-memory tier."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        engine: Optional[HeapEngine] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.counters = counters if counters is not None else Counters()
+        if engine is None:
+            engine = HeapEngine(counters=self.counters, name=f"slave:{node_id}")
+        self.engine = engine
+        self.engine.set_controller(SlaveController(self))
+        #: page -> ordered queue of (version, PageOp) not yet applied.
+        self.pending: Dict[PageId, Deque[Tuple[int, object]]] = {}
+        #: Highest versions received from masters (per table).
+        self.received_versions = VersionVector()
+        #: While True (node catching up after a restart), received write-sets
+        #: are buffered WITHOUT index maintenance — the indexes will be
+        #: rebuilt from page contents once migration completes.
+        self.catching_up = False
+
+    # -- replication receive path ---------------------------------------------------
+    def receive(self, write_set: WriteSet) -> None:
+        """Buffer one write-set: queue page ops, maintain indexes eagerly."""
+        for op in write_set.ops:
+            version = write_set.versions[op.page_id.table]
+            page = self.engine.store.get_or_allocate(op.page_id)
+            queue = self.pending.get(op.page_id)
+            if queue is None:
+                queue = self.pending[op.page_id] = deque()
+            queue.append((version, op))
+            if not self.catching_up:
+                self.engine.table(op.page_id.table).index_apply_committed(op, version)
+            _ = page  # page allocated so scans see it before materialisation
+        self.received_versions.merge(VersionVector(write_set.versions))
+        self.counters.add("slave.write_sets_received")
+        self.counters.add("slave.ops_buffered", len(write_set.ops))
+
+    # -- lazy materialisation ----------------------------------------------------------
+    def materialize(self, page: Page, txn: Transaction) -> None:
+        """Bring ``page`` to the version ``txn`` must read.
+
+        Untagged transactions (``tag is None``) read the newest received
+        state: everything pending is applied.
+        """
+        table = page.page_id.table
+        target = txn.tag.get(table) if txn.tag is not None else None
+        if target is not None and page.version > target:
+            self.counters.add("slave.version_aborts")
+            raise VersionInconsistency(
+                f"page {page.page_id} at v{page.version}, txn needs v{target}",
+                required=target,
+                found=page.version,
+            )
+        queue = self.pending.get(page.page_id)
+        if not queue:
+            return
+        applied = 0
+        while queue:
+            version, op = queue[0]
+            if target is not None and version > target:
+                break
+            queue.popleft()
+            apply_op(page, op)
+            page.version = max(page.version, version)
+            applied += 1
+        if applied:
+            self.counters.add("slave.ops_applied", applied)
+        if not queue:
+            del self.pending[page.page_id]
+
+    def apply_all_pending(self) -> int:
+        """Apply every buffered op (promotion / catch-up / checkpoint prep)."""
+        applied = 0
+        for page_id in list(self.pending):
+            page = self.engine.store.get(page_id)
+            queue = self.pending.pop(page_id)
+            for version, op in queue:
+                apply_op(page, op)
+                page.version = max(page.version, version)
+                applied += 1
+        if applied:
+            self.counters.add("slave.ops_applied", applied)
+        return applied
+
+    def materialize_fully(self, page_id: PageId) -> Page:
+        """Apply all pending ops of one page (migration snapshot source)."""
+        page = self.engine.store.get(page_id)
+        queue = self.pending.pop(page_id, None)
+        if queue:
+            for version, op in queue:
+                apply_op(page, op)
+                page.version = max(page.version, version)
+                self.counters.add("slave.ops_applied")
+        return page
+
+    # -- transactions --------------------------------------------------------------------
+    def begin_read_only(self, tag: VersionVector) -> Transaction:
+        return self.engine.begin(TxnMode.READ_ONLY, tag=tag.copy())
+
+    # -- failure reconfiguration -----------------------------------------------------------
+    def discard_above(self, versions: VersionVector) -> int:
+        """Drop buffered ops newer than ``versions`` (master-failure cleanup).
+
+        Removes partially propagated pre-commit write-sets whose commit the
+        failed master never acknowledged, and rolls back the eager index
+        entries they created.
+        """
+        discarded = 0
+        for page_id in list(self.pending):
+            queue = self.pending[page_id]
+            keep: Deque[Tuple[int, object]] = deque()
+            for version, op in queue:
+                if version <= versions.get(page_id.table):
+                    keep.append((version, op))
+                else:
+                    self._revert_index_entries(op, version)
+                    discarded += 1
+            if keep:
+                self.pending[page_id] = keep
+            else:
+                del self.pending[page_id]
+        # Truncate the received watermark back to the confirmed versions.
+        truncated = VersionVector()
+        for table, version in self.received_versions.items():
+            truncated.set(table, min(version, max(versions.get(table), 0)))
+        self.received_versions = truncated
+        if discarded:
+            self.counters.add("slave.ops_discarded", discarded)
+        return discarded
+
+    def _revert_index_entries(self, op, version: int) -> None:
+        """Inverse of the eager index maintenance done in :meth:`receive`."""
+        from repro.storage.ops import OpKind
+
+        table = self.engine.table(op.page_id.table)
+        loc = (op.page_id, op.slot)
+        schema = table.schema
+        if op.kind is OpKind.INSERT:
+            table.pk_index.remove_committed(schema.pk_of(op.row), loc, version)
+            for name, cols in table._index_cols.items():
+                table.indexes[name].remove_committed(schema.key_of(op.row, cols), loc, version)
+            table.row_count -= 1
+        elif op.kind is OpKind.DELETE:
+            table.pk_index.unmark_delete_committed(schema.pk_of(op.before), loc, version)
+            for name, cols in table._index_cols.items():
+                table.indexes[name].unmark_delete_committed(
+                    schema.key_of(op.before, cols), loc, version
+                )
+            table.row_count += 1
+        else:
+            for name, cols in table._index_cols.items():
+                old_key = schema.key_of(op.before, cols)
+                new_key = schema.key_of(op.row, cols)
+                if old_key != new_key:
+                    table.indexes[name].remove_committed(new_key, loc, version)
+                    table.indexes[name].unmark_delete_committed(old_key, loc, version)
+
+    # -- data migration support ------------------------------------------------------------
+    def page_versions(self) -> Dict[PageId, int]:
+        """Current page -> version map including pending-queue headroom."""
+        versions = self.engine.store.version_map()
+        for page_id, queue in self.pending.items():
+            if queue:
+                versions[page_id] = max(versions.get(page_id, 0), queue[-1][0])
+        return versions
+
+    def snapshot_pages_newer_than(
+        self, wanted: Dict[PageId, int]
+    ) -> List[PageImage]:
+        """Support-slave side of data migration: pages newer than ``wanted``.
+
+        Pages are fully materialised before snapshotting so the receiver
+        can reach the current database version with only its own buffered
+        ops from subscription time onward.
+        """
+        images: List[PageImage] = []
+        for page in list(self.engine.store.all_pages()):
+            have = wanted.get(page.page_id, -1)
+            latest = page.version
+            queue = self.pending.get(page.page_id)
+            if queue:
+                latest = max(latest, queue[-1][0])
+            if latest > have:
+                full = self.materialize_fully(page.page_id)
+                snapshot = full.snapshot()
+                images.append(PageImage(page.page_id, snapshot.version, snapshot))
+                self.counters.add("migration.pages_sent")
+        return images
+
+    def receive_page(self, image: PageImage) -> None:
+        """Joining-node side: install a migrated page, drop covered ops."""
+        page = self.engine.store.get_or_allocate(image.page_id)
+        page.load_from(image.page)
+        queue = self.pending.get(image.page_id)
+        if queue:
+            kept = deque(
+                (version, op) for version, op in queue if version > image.version
+            )
+            if kept:
+                self.pending[image.page_id] = kept
+            else:
+                del self.pending[image.page_id]
+        self.counters.add("migration.pages_received")
+
+    def finish_catchup(self) -> None:
+        """End catch-up mode: rebuild indexes, index-apply remaining ops."""
+        if not self.catching_up:
+            raise RuntimeError("finish_catchup called outside catch-up mode")
+        self.engine.rebuild_all_indexes()
+        for page_id, queue in self.pending.items():
+            for version, op in queue:
+                self.engine.table(page_id.table).index_apply_committed(op, version)
+        self.catching_up = False
+
+    def pending_op_count(self) -> int:
+        return sum(len(q) for q in self.pending.values())
+
+    # -- version garbage collection -----------------------------------------------------
+    def gc_watermark(self, scheduler_latest: VersionVector) -> VersionVector:
+        """Oldest versions any current or future reader can require.
+
+        New readers are tagged with the scheduler's latest vector; active
+        readers pin their own tags.  The watermark is the elementwise
+        minimum over all of them.
+        """
+        watermark = scheduler_latest.copy()
+        for txn in self.engine.active_transactions():
+            if txn.tag is not None:
+                watermark.floor_with(txn.tag)
+        return watermark
+
+    def gc_versions(self, scheduler_latest: VersionVector) -> int:
+        """Collect index entries deleted at or below the watermark.
+
+        Bounds the memory growth of the version-aware indexes — the
+        equivalent of the copy garbage collection that stand-alone
+        multiversion databases must run (paper §2.1), but needed only for
+        *deleted* entries because DMV never keeps multiple row copies.
+        """
+        removed = self.engine.gc_index_entries(self.gc_watermark(scheduler_latest))
+        if removed:
+            self.counters.add("slave.gc_entries", removed)
+        return removed

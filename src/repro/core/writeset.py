@@ -1,0 +1,36 @@
+"""Write-sets: the unit of master -> slave replication.
+
+One write-set carries every page-level modification of one committed update
+transaction, plus the per-table commit versions the transaction produced
+(the increment of ``DBVersion``).  Write-sets from one master form a total
+order per table; slaves buffer them per page and apply lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.ids import NodeId, TxnId
+from repro.storage.ops import PageOp, ops_size
+
+
+@dataclass(frozen=True)
+class WriteSet:
+    """The pre-commit broadcast payload of one update transaction."""
+
+    master_id: NodeId
+    txn_id: TxnId
+    ops: Tuple[PageOp, ...]
+    #: table -> commit version (this transaction's entries of DBVersion).
+    versions: Dict[str, int] = field(default_factory=dict)
+
+    def byte_size(self) -> int:
+        """Approximate wire size (network cost accounting)."""
+        return 64 + ops_size(self.ops) + 16 * len(self.versions)
+
+    def tables(self) -> List[str]:
+        return sorted(self.versions)
+
+    def __len__(self) -> int:
+        return len(self.ops)

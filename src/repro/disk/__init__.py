@@ -1,0 +1,20 @@
+"""The on-disk database tier (MySQL/InnoDB stand-in).
+
+Used two ways, exactly as in the paper:
+
+* as the **persistence back-end** of the DMV system — the scheduler streams
+  logged update queries to one or two of these for durability;
+* as the **baseline** — a stand-alone (Figure 3) or replicated (Figures
+  5(a,b), 6) on-disk tier whose failover requires replaying an on-disk log.
+
+The query engine is shared with the in-memory tier; the disk personality
+adds a bounded buffer pool (misses cost disk reads), a write-ahead log with
+per-commit fsync, and serializable page-granular 2PL where readers block on
+writers (the concurrency the paper configured InnoDB for).
+"""
+
+from repro.disk.diskmodel import DiskModel
+from repro.disk.wal import WriteAheadLog
+from repro.disk.database import DiskController, DiskDatabase
+
+__all__ = ["DiskModel", "WriteAheadLog", "DiskDatabase", "DiskController"]

@@ -1,0 +1,38 @@
+"""Disk service-time model.
+
+A single-spindle commodity disk circa the paper's testbed: positioning
+latency per random I/O plus streaming transfer.  The simulation serialises
+all I/O of one node through a capacity-1 disk resource, so queueing effects
+(the on-disk tier saturating under load) emerge naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Timing parameters; all costs in (virtual) seconds."""
+
+    #: Average positioning (seek + rotational) latency per random access.
+    seek_time: float = 0.005
+    #: Sequential transfer rate in bytes/second.
+    transfer_rate: float = 60e6
+    #: Page size used for random page reads.
+    page_bytes: int = 16384
+    #: fsync: flush latency (log force at commit).
+    fsync_time: float = 0.004
+
+    def random_read_cost(self, pages: int = 1) -> float:
+        """Cost of ``pages`` random page reads (buffer-pool misses)."""
+        return pages * (self.seek_time + self.page_bytes / self.transfer_rate)
+
+    def sequential_cost(self, nbytes: int) -> float:
+        """Cost of streaming ``nbytes`` (log replay, checkpoint writes)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.seek_time + nbytes / self.transfer_rate
+
+    def fsync_cost(self, count: int = 1) -> float:
+        return count * self.fsync_time

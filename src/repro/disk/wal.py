@@ -1,0 +1,68 @@
+"""Write-ahead log for the on-disk database.
+
+Tracks logical size and record counts so the cost model can charge log
+writes and the recovery path can charge sequential replay I/O.  Log records
+are the redo page-ops of committed transactions (physical redo), plus the
+query text for cross-replica replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.counters import Counters
+from repro.storage.ops import PageOp, ops_size
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    txn_id: int
+    nbytes: int
+    queries: Tuple[Tuple[str, Tuple], ...] = ()
+
+
+class WriteAheadLog:
+    """Append-only redo log with size accounting and truncation."""
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self._records: List[WalRecord] = []
+        self.total_bytes = 0
+        self.synced_through = 0  # index of the first un-fsynced record
+
+    def append_commit(
+        self,
+        txn_id: int,
+        ops: Sequence[PageOp],
+        queries: Sequence[Tuple[str, Tuple]] = (),
+    ) -> WalRecord:
+        record = WalRecord(txn_id, 48 + ops_size(ops), tuple(queries))
+        self._records.append(record)
+        self.total_bytes += record.nbytes
+        self.counters.add("wal.records")
+        self.counters.add("wal.bytes", record.nbytes)
+        return record
+
+    def fsync(self) -> int:
+        """Force the log; returns how many records were flushed."""
+        flushed = len(self._records) - self.synced_through
+        self.synced_through = len(self._records)
+        self.counters.add("wal.fsyncs")
+        return flushed
+
+    def records_since(self, index: int) -> List[WalRecord]:
+        return self._records[index:]
+
+    def bytes_since(self, index: int) -> int:
+        return sum(r.nbytes for r in self._records[index:])
+
+    def truncate(self, keep_from: int) -> None:
+        """Drop records before ``keep_from`` (checkpoint advanced)."""
+        dropped = self._records[:keep_from]
+        self._records = self._records[keep_from:]
+        self.total_bytes -= sum(r.nbytes for r in dropped)
+        self.synced_through = max(0, self.synced_through - keep_from)
+
+    def __len__(self) -> int:
+        return len(self._records)

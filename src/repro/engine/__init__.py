@@ -1,0 +1,49 @@
+"""Transactional in-memory table engine (the MySQL ``REPLICATED_HEAP`` stand-in).
+
+The engine stores rows in slotted pages (:mod:`repro.storage`), indexes them
+with hash and red–black-tree indexes, and runs transactions with undo/redo
+logging.  Concurrency control is pluggable through an
+:class:`~repro.engine.engine.AccessController`:
+
+* masters use page-granular two-phase locking (:class:`TwoPhaseLocking`),
+* DMV slaves materialise page versions lazily
+  (:class:`repro.core.slave.SlaveController`),
+* the on-disk baseline adds buffer-pool and WAL accounting
+  (:mod:`repro.disk`).
+"""
+
+from repro.engine.schema import Column, IndexDef, TableSchema
+from repro.engine.rbtree import RedBlackTree
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.txn import Transaction, TxnMode, TxnState
+from repro.engine.table import Table
+from repro.engine.indexes import IndexEntry, Loc, VersionedHashIndex, VersionedTreeIndex
+from repro.engine.engine import (
+    AccessController,
+    HeapEngine,
+    LockWait,
+    PassThroughController,
+    TwoPhaseLocking,
+)
+
+__all__ = [
+    "Column",
+    "IndexDef",
+    "TableSchema",
+    "RedBlackTree",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TxnMode",
+    "TxnState",
+    "Table",
+    "Loc",
+    "HeapEngine",
+    "AccessController",
+    "PassThroughController",
+    "TwoPhaseLocking",
+    "LockWait",
+    "IndexEntry",
+    "VersionedHashIndex",
+    "VersionedTreeIndex",
+]

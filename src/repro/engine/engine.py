@@ -1,0 +1,329 @@
+"""The heap engine: transactions, commit protocol hooks, access control.
+
+One :class:`HeapEngine` instance is one database replica's storage manager.
+Concurrency personalities plug in through :class:`AccessController`:
+
+* :class:`PassThroughController` — no concurrency control (single-user
+  embedded usage and unit tests),
+* :class:`TwoPhaseLocking` — page-granular S/X 2PL, used by DMV masters and
+  by the on-disk baseline (where it models InnoDB's serializable mode),
+* ``SlaveController`` (in :mod:`repro.core.slave`) — lazy version
+  materialisation for DMV slaves.
+
+The commit path is split so the replication layer can interpose: masters
+call :meth:`prepare_commit` (collect the write-set, keep locks), broadcast,
+then :meth:`stamp_commit` + :meth:`finish_commit`.  Stand-alone users call
+:meth:`commit`, which performs all three with a locally incremented version
+vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.counters import Counters
+from repro.common.errors import SchemaError, TransactionAborted
+from repro.common.ids import IdAllocator, TxnId
+from repro.common.versions import VersionVector
+from repro.engine.locks import LockManager, LockMode, LockRequest
+from repro.engine.schema import TableSchema
+from repro.engine.table import Table
+from repro.engine.txn import Savepoint, Transaction, TxnMode, TxnState
+from repro.storage.cache import PageCache
+from repro.storage.ops import PageOp
+from repro.storage.page import Page, PageStore
+
+
+class LockWait(Exception):
+    """Internal control-flow: a lock could not be granted immediately.
+
+    The simulated node executor catches this, rolls the statement back to
+    its savepoint, waits for the grant and retries the statement.  It is
+    *not* a :class:`~repro.common.errors.ReproError`: it must never escape
+    to application code.
+    """
+
+    def __init__(self, request: LockRequest) -> None:
+        super().__init__(f"txn {request.txn_id} waits for {request.mode.value} on {request.resource}")
+        self.request = request
+
+
+class AccessController:
+    """Strategy hooks called around every page access and txn boundary."""
+
+    def attach(self, engine: "HeapEngine") -> None:
+        self.engine = engine
+
+    def on_begin(self, txn: Transaction) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def before_read(self, txn: Transaction, page: Page) -> None:
+        pass
+
+    def before_write(self, txn: Transaction, page: Page) -> None:
+        pass
+
+    def on_finish(self, txn: Transaction) -> None:
+        """Called after commit completes or abort finishes."""
+
+    def page_is_dirty(self, page: Page) -> bool:
+        """Does the page hold uncommitted data?  (checkpointer filter)"""
+        return False
+
+    def write_locked_by_other(self, txn: Transaction, page: Page) -> bool:
+        """Would writing ``page`` block on another transaction's X lock?
+
+        Used by the insert-stripe allocator to steer concurrent inserters
+        onto different pages.
+        """
+        return False
+
+
+class PassThroughController(AccessController):
+    """No concurrency control: suitable for single-transaction usage."""
+
+
+class TwoPhaseLocking(AccessController):
+    """Strict page-granular 2PL: S on read, X on write, release at finish."""
+
+    def __init__(self, manager: Optional[LockManager] = None) -> None:
+        self.manager = manager if manager is not None else LockManager()
+
+    def _acquire(self, txn: Transaction, page: Page, mode: LockMode) -> None:
+        request = self.manager.acquire(txn.txn_id, page.page_id, mode)
+        if not request.granted:
+            self.engine.counters.add("locks.waits")
+            raise LockWait(request)
+
+    def before_read(self, txn: Transaction, page: Page) -> None:
+        if page.page_id.table in txn.write_intent:
+            # Read of a table this txn declared it will write: take X now
+            # (SELECT FOR UPDATE semantics) instead of upgrading later.
+            self._acquire(txn, page, LockMode.EXCLUSIVE)
+        else:
+            self._acquire(txn, page, LockMode.SHARED)
+
+    def before_write(self, txn: Transaction, page: Page) -> None:
+        self._acquire(txn, page, LockMode.EXCLUSIVE)
+
+    def on_finish(self, txn: Transaction) -> None:
+        self.manager.release_all(txn.txn_id)
+
+    def page_is_dirty(self, page: Page) -> bool:
+        return self.manager.exclusively_locked(page.page_id)
+
+    def write_locked_by_other(self, txn: Transaction, page: Page) -> bool:
+        holders = self.manager.holders_of(page.page_id)
+        return any(holder != txn.txn_id for holder in holders)
+
+
+class HeapEngine:
+    """A transactional in-memory database instance (one replica)."""
+
+    def __init__(
+        self,
+        controller: Optional[AccessController] = None,
+        counters: Optional[Counters] = None,
+        store: Optional[PageStore] = None,
+        cache: Optional[PageCache] = None,
+        rows_per_page: int = 64,
+        name: str = "engine",
+    ) -> None:
+        self.name = name
+        self.counters = counters if counters is not None else Counters()
+        self.store = store if store is not None else PageStore(rows_per_page)
+        self.cache = cache  # optional residency model; None = always resident
+        self.controller = controller if controller is not None else PassThroughController()
+        self.controller.attach(self)
+        self.tables: Dict[str, Table] = {}
+        self.versions = VersionVector()
+        self._txn_ids = IdAllocator()
+        self._active: Dict[TxnId, Transaction] = {}
+
+    # -- schema -----------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise SchemaError(f"table {schema.name} already exists")
+        table = Table(schema, self)
+        self.tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name}") from None
+
+    # -- transaction lifecycle -----------------------------------------------------
+    def begin(
+        self,
+        mode: TxnMode = TxnMode.UPDATE,
+        tag: Optional[VersionVector] = None,
+        write_intent: Optional[Iterable[str]] = None,
+    ) -> Transaction:
+        txn = Transaction(
+            self._txn_ids.next(), mode, tag=tag,
+            write_intent=set(write_intent) if write_intent else set(),
+        )
+        self._active[txn.txn_id] = txn
+        self.controller.on_begin(txn)
+        self.counters.add("engine.txns_started")
+        return txn
+
+    def prepare_commit(self, txn: Transaction) -> List[PageOp]:
+        """Freeze the write-set; locks stay held until :meth:`finish_commit`."""
+        txn.require_active()
+        txn.state = TxnState.PREPARED
+        return list(txn.redo)
+
+    def stamp_commit(self, txn: Transaction, versions: Dict[str, int]) -> None:
+        """Stamp index entries and page versions with the commit versions."""
+        if txn.state is not TxnState.PREPARED:
+            raise RuntimeError("stamp_commit requires a prepared transaction")
+        per_table: Dict[str, list] = {}
+        for record in txn.journal:
+            per_table.setdefault(record.table, []).append(record)
+        for table_name, records in per_table.items():
+            version = versions.get(table_name)
+            if version is None:
+                raise SchemaError(f"missing commit version for table {table_name}")
+            self.table(table_name).stamp_commit(records, version)
+        for op in txn.redo:
+            page = self.store.get(op.page_id)
+            page.version = max(page.version, versions[op.page_id.table])
+
+    def finish_commit(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.PREPARED:
+            raise RuntimeError("finish_commit requires a prepared transaction")
+        txn.state = TxnState.COMMITTED
+        self._active.pop(txn.txn_id, None)
+        self.controller.on_finish(txn)
+        self.counters.add("engine.txns_committed")
+
+    def commit(self, txn: Transaction) -> Dict[str, int]:
+        """Stand-alone commit: local version increment, stamp, finish.
+
+        Returns the per-table commit versions.  Replicated masters use the
+        prepare/stamp/finish steps individually instead.
+        """
+        self.prepare_commit(txn)
+        self.versions.increment(txn.tables_written)
+        commit_versions = {t: self.versions.get(t) for t in txn.tables_written}
+        self.stamp_commit(txn, commit_versions)
+        self.finish_commit(txn)
+        return commit_versions
+
+    def abort(self, txn: Transaction, reason: str = "abort") -> None:
+        """Roll back all effects and release resources (idempotent-safe).
+
+        A PREPARED transaction cannot be reverted — its index entries are
+        already stamped with commit versions and its write-set may be
+        partially broadcast.  That situation only arises when the node
+        itself is failing (the cluster-level discard protocol cleans the
+        replicas); locally we just drop the transaction and release its
+        locks without touching data.
+        """
+        if txn.state is TxnState.COMMITTED:
+            return
+        if txn.state is TxnState.ABORTED:
+            # Defensive re-release: a statement racing with the abort may
+            # have acquired locks after the first release.
+            self.controller.on_finish(txn)
+            return
+        if txn.state is TxnState.PREPARED:
+            txn.state = TxnState.ABORTED
+            self._active.pop(txn.txn_id, None)
+            self.controller.on_finish(txn)
+            self.counters.add("engine.txns_dropped_prepared")
+            return
+        for record in reversed(txn.journal):
+            self.table(record.table).revert(record)
+        txn.journal.clear()
+        txn.redo.clear()
+        txn.state = TxnState.ABORTED
+        self._active.pop(txn.txn_id, None)
+        self.controller.on_finish(txn)
+        self.counters.add("engine.txns_aborted")
+        self.counters.add(f"engine.aborts.{reason}")
+
+    def rollback_to(self, txn: Transaction, savepoint: Savepoint) -> None:
+        """Statement-level rollback (used for lock-wait retries)."""
+        txn.require_active()
+        for record in txn.truncate_to(savepoint):
+            self.table(record.table).revert(record)
+
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    def abort_all_active(self, reason: str = "node-failure") -> int:
+        """Abort every in-flight transaction (failure reconfiguration)."""
+        txns = list(self._active.values())
+        for txn in txns:
+            self.abort(txn, reason=reason)
+        return len(txns)
+
+    # -- page access funnels --------------------------------------------------------
+    def touch_read(self, txn: Transaction, page: Page) -> None:
+        if not txn.active:
+            # A statement may still be executing when its transaction is
+            # aborted out from under it (node reconfiguration).  Stop it at
+            # the next page access — before it acquires any more locks.
+            raise TransactionAborted(
+                f"txn {txn.txn_id} is no longer active", reason="txn-inactive"
+            )
+        if self.cache is not None:
+            self.cache.touch(page.page_id)
+        self.controller.before_read(txn, page)
+        txn.pages_read.add(page.page_id)
+        self.counters.add("engine.pages_read")
+
+    def touch_write(self, txn: Transaction, page: Page) -> None:
+        if not txn.active:
+            raise TransactionAborted(
+                f"txn {txn.txn_id} is no longer active", reason="txn-inactive"
+            )
+        if txn.read_only:
+            raise TransactionAborted(
+                f"read-only txn {txn.txn_id} attempted a write", reason="read-only-write"
+            )
+        if self.cache is not None:
+            self.cache.touch(page.page_id)
+        self.controller.before_write(txn, page)
+        self.counters.add("engine.pages_written")
+
+    # -- convenience row APIs (delegate to tables) -------------------------------------
+    def insert(self, txn: Transaction, table: str, values: Dict[str, object]):
+        return self.table(table).insert_row(txn, values)
+
+    def fetch(self, txn: Transaction, table: str, loc):
+        return self.table(table).fetch(txn, loc)
+
+    def page_is_dirty(self, page: Page) -> bool:
+        return self.controller.page_is_dirty(page)
+
+    # -- role changes / loading -----------------------------------------------------------
+    def set_controller(self, controller: AccessController) -> None:
+        """Swap the concurrency personality (slave promotion to master)."""
+        if self._active:
+            raise RuntimeError("cannot swap controller with active transactions")
+        self.controller = controller
+        controller.attach(self)
+
+    def bulk_load(self, table: str, rows, version: int = 0) -> int:
+        """Load committed rows directly (initial population, migrations)."""
+        return self.table(table).bulk_load(rows, version)
+
+    def rebuild_all_indexes(self) -> None:
+        for table in self.tables.values():
+            table.rebuild_indexes()
+
+    # -- maintenance -------------------------------------------------------------------
+    def gc_index_entries(self, watermark_versions: VersionVector) -> int:
+        """GC versioned index entries below the oldest tag still in use."""
+        removed = 0
+        for table in self.tables.values():
+            removed += table.gc_index_entries(watermark_versions.get(table.name))
+        return removed
+
+    def row_counts(self) -> Dict[str, int]:
+        return {name: table.row_count for name, table in self.tables.items()}

@@ -1,0 +1,353 @@
+"""Version-aware hash and tree indexes.
+
+The paper replicates index structure physically (index pages are memory
+pages too).  We substitute *logical* multiversion index maintenance (see
+DESIGN.md §2): every index entry carries
+
+* ``insert_v`` — the version vector entry at which the row became visible
+  (``None`` while the writing master transaction is uncommitted), and
+* ``delete_v`` — ``None`` while live, the :data:`PENDING` sentinel while an
+  uncommitted master transaction is deleting it, or the commit version of
+  the delete.
+
+Masters create *pending* entries in place and stamp them with the commit
+version at pre-commit; slaves create already-stamped entries eagerly when a
+write-set arrives, while the data pages themselves are still applied
+lazily.  Reads filter entries by their transaction's version tag (or read
+"current state" when untagged, as masters do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.counters import Counters
+from repro.common.errors import SchemaError
+from repro.common.ids import PageId, TxnId
+from repro.engine.rbtree import RedBlackTree
+
+#: Sentinel for "delete written but not yet committed".
+PENDING = object()
+
+Loc = Tuple[PageId, int]
+Key = Tuple
+
+
+@dataclass
+class IndexEntry:
+    """One (key -> row location) fact with its version validity window."""
+
+    loc: Loc
+    insert_v: Optional[int]  # None = pending insert
+    delete_v: object = None  # None | PENDING | int
+    writer: Optional[TxnId] = None  # txn that created / is deleting it
+
+    def visible(self, reader: Optional[TxnId], tag_v: Optional[int]) -> bool:
+        """Is this entry part of the state the reader should observe?
+
+        ``tag_v is None`` means a current-state read (master side):
+        committed deletes are invisible, pending inserts are visible (the
+        reader will block on the page lock and re-check the slot), and a
+        pending delete is invisible only to the deleting transaction.
+        """
+        if tag_v is None:
+            if isinstance(self.delete_v, int):
+                return False
+            if self.delete_v is PENDING and self.writer == reader:
+                return False
+            return True
+        if self.insert_v is None or self.insert_v > tag_v:
+            return False
+        if isinstance(self.delete_v, int) and self.delete_v <= tag_v:
+            return False
+        return True
+
+
+def encode_key(key: Key) -> Key:
+    """Make keys totally ordered even when components are NULL.
+
+    Each component becomes ``(0, '')`` for NULL or ``(1, value)`` otherwise,
+    so NULLs sort first and never get compared against typed values.
+    :data:`COMPONENT_MAX` sorts after every encoded component, which lets
+    range planners build exclusive/inclusive prefix bounds.
+    """
+    return tuple((0, "") if v is None else (1, v) for v in key)
+
+
+#: Sorts after every encoded key component; used to build prefix bounds.
+COMPONENT_MAX = (2,)
+
+
+def prefix_bounds(
+    eq_prefix: Key,
+    low: Optional[Tuple[object, bool]] = None,
+    high: Optional[Tuple[object, bool]] = None,
+) -> Tuple[Optional[Key], Optional[Key]]:
+    """Encoded (lo, hi) bounds for "prefix equal, next component in range".
+
+    ``low``/``high`` are ``(value, inclusive)`` pairs applying to the key
+    component right after the equality prefix.  The returned bounds follow
+    the tree's half-open ``lo <= key < hi`` convention.
+    """
+    prefix_enc = encode_key(eq_prefix)
+    if low is None:
+        lo = prefix_enc if (eq_prefix or high is not None) else None
+    else:
+        value, inclusive = low
+        lo = prefix_enc + (encode_key((value,))[0],)
+        if not inclusive:
+            lo = lo + (COMPONENT_MAX,)
+    if high is None:
+        hi = prefix_enc + (COMPONENT_MAX,) if eq_prefix or low is not None else None
+    else:
+        value, inclusive = high
+        hi = prefix_enc + (encode_key((value,))[0],)
+        if inclusive:
+            hi = hi + (COMPONENT_MAX,)
+    return lo, hi
+
+
+class _BucketOps:
+    """Shared bucket manipulation for both index flavours."""
+
+    def __init__(self, name: str, table: str, counters: Counters) -> None:
+        self.name = name
+        self.table = table
+        self.counters = counters
+        self.entry_count = 0
+
+    # Subclasses provide _bucket(key, create) and _drop_bucket(key).
+
+    def _find(self, bucket, loc: Loc, state: str) -> Optional[IndexEntry]:
+        """Find the entry at ``loc`` in the given lifecycle state.
+
+        Slot reuse means several entries (dead, live, pending) can share a
+        location, so lookups must also match on state:
+
+        * ``"pending-insert"`` — insert_v is None,
+        * ``"pending-delete"`` — delete_v is PENDING,
+        * ``"live"`` — committed insert, no delete in progress.
+        """
+        for entry in bucket or ():
+            if entry.loc != loc:
+                continue
+            if state == "pending-insert" and entry.insert_v is None:
+                return entry
+            if state == "pending-delete" and entry.delete_v is PENDING:
+                return entry
+            if state == "live" and entry.delete_v is None:
+                # "live" = no delete in progress; a pending insert counts
+                # (a txn may delete a row it inserted itself).
+                return entry
+        return None
+
+    # -- master write path (pending entries) ---------------------------------
+    def add_pending(self, key: Key, loc: Loc, writer: TxnId) -> None:
+        bucket = self._bucket(key, create=True)
+        bucket.append(IndexEntry(loc, None, None, writer))
+        self.entry_count += 1
+
+    def mark_delete_pending(self, key: Key, loc: Loc, writer: TxnId) -> None:
+        entry = self._live_entry(key, loc)
+        entry.delete_v = PENDING
+        entry.writer = writer
+
+    # -- commit stamping / abort revert ---------------------------------------
+    def stamp_insert(self, key: Key, loc: Loc, version: int) -> None:
+        entry = self._find(self._bucket(key, create=False), loc, "pending-insert")
+        if entry is None:
+            raise SchemaError(f"{self.name}: no pending insert for {key}/{loc}")
+        entry.insert_v = version
+        entry.writer = None
+
+    def stamp_delete(self, key: Key, loc: Loc, version: int) -> None:
+        entry = self._find(self._bucket(key, create=False), loc, "pending-delete")
+        if entry is None:
+            raise SchemaError(f"{self.name}: no pending delete for {key}/{loc}")
+        entry.delete_v = version
+        entry.writer = None
+
+    def revert_insert(self, key: Key, loc: Loc) -> None:
+        bucket = self._bucket(key, create=False)
+        entry = self._find(bucket, loc, "pending-insert")
+        if entry is None:
+            raise SchemaError(f"{self.name}: no entry to revert for {key}/{loc}")
+        bucket.remove(entry)
+        self.entry_count -= 1
+        if not bucket:
+            self._drop_bucket(key)
+
+    def revert_delete(self, key: Key, loc: Loc) -> None:
+        entry = self._find(self._bucket(key, create=False), loc, "pending-delete")
+        if entry is None:
+            raise SchemaError(f"{self.name}: no pending delete to revert for {key}/{loc}")
+        entry.delete_v = None
+        entry.writer = None
+
+    # -- slave apply path (already committed) ----------------------------------
+    def add_committed(self, key: Key, loc: Loc, version: int) -> None:
+        bucket = self._bucket(key, create=True)
+        bucket.append(IndexEntry(loc, version, None, None))
+        self.entry_count += 1
+
+    def mark_delete_committed(self, key: Key, loc: Loc, version: int) -> None:
+        entry = self._live_entry(key, loc)
+        entry.delete_v = version
+
+    def remove_committed(self, key: Key, loc: Loc, version: int) -> None:
+        """Undo an :meth:`add_committed` (master-failure write-set discard)."""
+        bucket = self._bucket(key, create=False)
+        for entry in bucket or ():
+            if entry.loc == loc and entry.insert_v == version:
+                bucket.remove(entry)
+                self.entry_count -= 1
+                if not bucket:
+                    self._drop_bucket(key)
+                return
+        raise SchemaError(f"{self.name}: no committed entry v{version} for {key}/{loc}")
+
+    def unmark_delete_committed(self, key: Key, loc: Loc, version: int) -> None:
+        """Undo a :meth:`mark_delete_committed` (write-set discard)."""
+        bucket = self._bucket(key, create=False)
+        for entry in bucket or ():
+            if entry.loc == loc and entry.delete_v == version:
+                entry.delete_v = None
+                return
+        raise SchemaError(f"{self.name}: no committed delete v{version} for {key}/{loc}")
+
+    def _live_entry(self, key: Key, loc: Loc) -> IndexEntry:
+        entry = self._find(self._bucket(key, create=False), loc, "live")
+        if entry is None:
+            raise SchemaError(f"{self.name}: no live entry for {key} at {loc}")
+        return entry
+
+    # -- reads -------------------------------------------------------------------
+    def lookup(self, key: Key, reader: Optional[TxnId], tag_v: Optional[int]) -> List[Loc]:
+        self.counters.add("index.lookups")
+        bucket = self._bucket(key, create=False)
+        if not bucket:
+            return []
+        return [e.loc for e in bucket if e.visible(reader, tag_v)]
+
+    def has_live(self, key: Key, reader: Optional[TxnId], tag_v: Optional[int]) -> bool:
+        return bool(self.lookup(key, reader, tag_v))
+
+    # -- garbage collection --------------------------------------------------------
+    def _gc_bucket(self, bucket: List[IndexEntry], watermark: int) -> int:
+        before = len(bucket)
+        bucket[:] = [
+            e
+            for e in bucket
+            if not (isinstance(e.delete_v, int) and e.delete_v <= watermark)
+        ]
+        removed = before - len(bucket)
+        self.entry_count -= removed
+        return removed
+
+
+class VersionedHashIndex(_BucketOps):
+    """Equality-only index (primary keys and unique lookups)."""
+
+    def __init__(self, name: str, table: str, counters: Optional[Counters] = None) -> None:
+        super().__init__(name, table, counters if counters is not None else Counters())
+        self._buckets: Dict[Key, List[IndexEntry]] = {}
+
+    def _bucket(self, key: Key, create: bool) -> Optional[List[IndexEntry]]:
+        key = encode_key(key)
+        if create:
+            return self._buckets.setdefault(key, [])
+        return self._buckets.get(key)
+
+    def _drop_bucket(self, key: Key) -> None:
+        self._buckets.pop(encode_key(key), None)
+
+    def gc(self, watermark: int) -> int:
+        removed = 0
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            removed += self._gc_bucket(bucket, watermark)
+            if not bucket:
+                del self._buckets[key]
+        return removed
+
+
+class VersionedTreeIndex(_BucketOps):
+    """Range-capable index backed by the red–black tree.
+
+    Tree rotations are surfaced into the counters ("index.rotations") so
+    the simulation can charge the master's RB-tree rebalancing cost that
+    the paper blames for ordering-mix saturation.
+    """
+
+    def __init__(self, name: str, table: str, counters: Optional[Counters] = None) -> None:
+        super().__init__(name, table, counters if counters is not None else Counters())
+        self._tree = RedBlackTree()
+
+    def _bucket(self, key: Key, create: bool) -> Optional[List[IndexEntry]]:
+        key = encode_key(key)
+        before = self._tree.rotations
+        if create:
+            bucket = self._tree.setdefault(key, list)
+        else:
+            bucket = self._tree.get(key)
+        rotations = self._tree.rotations - before
+        if rotations:
+            self.counters.add("index.rotations", rotations)
+        return bucket
+
+    def _drop_bucket(self, key: Key) -> None:
+        before = self._tree.rotations
+        self._tree.delete(encode_key(key))
+        rotations = self._tree.rotations - before
+        if rotations:
+            self.counters.add("index.rotations", rotations)
+
+    def range_lookup(
+        self,
+        lo: Optional[Key],
+        hi: Optional[Key],
+        reader: Optional[TxnId],
+        tag_v: Optional[int],
+        reverse: bool = False,
+    ) -> Iterator[Loc]:
+        """Locations with ``lo <= key < hi`` in (reverse) key order.
+
+        Prefix bounds are supported by passing partial keys: a bound tuple
+        shorter than the index key compares prefix-wise, which is exactly
+        Python tuple comparison.
+        """
+        lo_enc = encode_key(lo) if lo is not None else None
+        hi_enc = encode_key(hi) if hi is not None else None
+        yield from self.range_lookup_encoded(lo_enc, hi_enc, reader, tag_v, reverse)
+
+    def range_lookup_encoded(
+        self,
+        lo_enc: Optional[Key],
+        hi_enc: Optional[Key],
+        reader: Optional[TxnId],
+        tag_v: Optional[int],
+        reverse: bool = False,
+    ) -> Iterator[Loc]:
+        """Range scan with pre-encoded bounds (see :func:`prefix_bounds`)."""
+        self.counters.add("index.range_scans")
+        for _key, bucket in self._tree.range_items(lo_enc, hi_enc, reverse=reverse):
+            for entry in bucket:
+                if entry.visible(reader, tag_v):
+                    yield entry.loc
+
+    def scan_all(
+        self, reader: Optional[TxnId], tag_v: Optional[int], reverse: bool = False
+    ) -> Iterator[Loc]:
+        yield from self.range_lookup(None, None, reader, tag_v, reverse=reverse)
+
+    def gc(self, watermark: int) -> int:
+        removed = 0
+        empty_keys = []
+        for key, bucket in self._tree.items():
+            removed += self._gc_bucket(bucket, watermark)
+            if not bucket:
+                empty_keys.append(key)
+        for key in empty_keys:
+            self._tree.delete(key)
+        return removed

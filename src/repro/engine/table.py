@@ -1,0 +1,362 @@
+"""Heap tables: row operations over slotted pages plus index maintenance.
+
+A table executes the *master-side* write path (in-place page mutation,
+undo journal, redo page-ops, pending index entries) and the shared read
+path (fetch / scan / index lookups).  The slave-side lazy page application
+lives in :mod:`repro.core.slave`; it calls back into
+:meth:`Table.index_apply_committed` for eager index maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.common.errors import SchemaError, TransactionAborted
+from repro.common.ids import PageId
+from repro.engine.indexes import Key, Loc, VersionedHashIndex, VersionedTreeIndex
+from repro.engine.schema import TableSchema
+from repro.engine.txn import Transaction, UndoRecord
+from repro.storage.ops import OpKind, PageOp
+from repro.storage.page import Page, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import HeapEngine
+
+
+class Table:
+    """One table: schema + pages + a primary hash index + tree indexes."""
+
+    def __init__(self, schema: TableSchema, engine: "HeapEngine") -> None:
+        self.schema = schema
+        self.name = schema.name
+        self.engine = engine
+        self.store = engine.store
+        self.counters = engine.counters
+        self.pk_index = VersionedHashIndex(f"{self.name}.pk", self.name, self.counters)
+        self.indexes: Dict[str, VersionedTreeIndex] = {
+            idx.name: VersionedTreeIndex(idx.name, self.name, self.counters)
+            for idx in schema.indexes
+        }
+        self._index_cols: Dict[str, Tuple[str, ...]] = {
+            idx.name: idx.columns for idx in schema.indexes
+        }
+        self.row_count = 0
+        self._nonfull: List[Page] = []
+
+    # -- version tag helper ----------------------------------------------------
+    def _tag_v(self, txn: Transaction) -> Optional[int]:
+        return txn.tag.get(self.name) if txn.tag is not None else None
+
+    # -- write path (masters and stand-alone engines) ---------------------------
+    def insert_row(self, txn: Transaction, values: Dict[str, object]) -> Loc:
+        """Insert one row; returns its (page, slot) location."""
+        txn.require_active()
+        row = self.schema.row_from_dict(values)
+        pk = self.schema.pk_of(row)
+        if self.pk_index.has_live(pk, txn.txn_id, None):
+            raise TransactionAborted(
+                f"duplicate primary key {pk} in {self.name}", reason="duplicate-key"
+            )
+        page, slot = self._allocate_slot(txn)
+        loc: Loc = (page.page_id, slot)
+        page.put(slot, row)
+        txn.journal.append(UndoRecord(self.name, page.page_id, slot, None, row))
+        txn.redo.append(PageOp(page.page_id, OpKind.INSERT, slot, row))
+        txn.tables_written.add(self.name)
+        self.pk_index.add_pending(pk, loc, txn.txn_id)
+        for name, cols in self._index_cols.items():
+            self.indexes[name].add_pending(self.schema.key_of(row, cols), loc, txn.txn_id)
+        self.row_count += 1
+        self.counters.add("engine.rows_inserted")
+        return loc
+
+    def update_row(self, txn: Transaction, loc: Loc, changes: Dict[str, object]) -> None:
+        """Apply column changes to the row at ``loc`` (PK must not change)."""
+        txn.require_active()
+        page = self.store.get(loc[0])
+        self.engine.touch_write(txn, page)
+        before = page.get(loc[1])
+        if before is None:
+            raise SchemaError(f"update of empty slot {loc} in {self.name}")
+        after = self.schema.updated_row(before, changes)
+        if self.schema.pk_of(before) != self.schema.pk_of(after):
+            raise SchemaError(f"primary key update unsupported on {self.name}")
+        page.put(loc[1], after)
+        txn.journal.append(UndoRecord(self.name, loc[0], loc[1], before, after))
+        txn.redo.append(PageOp(loc[0], OpKind.UPDATE, loc[1], after, before))
+        txn.tables_written.add(self.name)
+        for name, cols in self._index_cols.items():
+            old_key = self.schema.key_of(before, cols)
+            new_key = self.schema.key_of(after, cols)
+            if old_key != new_key:
+                self.indexes[name].mark_delete_pending(old_key, loc, txn.txn_id)
+                self.indexes[name].add_pending(new_key, loc, txn.txn_id)
+        self.counters.add("engine.rows_updated")
+
+    def delete_row(self, txn: Transaction, loc: Loc) -> None:
+        txn.require_active()
+        page = self.store.get(loc[0])
+        self.engine.touch_write(txn, page)
+        before = page.get(loc[1])
+        if before is None:
+            raise SchemaError(f"delete of empty slot {loc} in {self.name}")
+        page.put(loc[1], None)
+        txn.journal.append(UndoRecord(self.name, loc[0], loc[1], before, None))
+        txn.redo.append(PageOp(loc[0], OpKind.DELETE, loc[1], None, before))
+        txn.tables_written.add(self.name)
+        self.pk_index.mark_delete_pending(self.schema.pk_of(before), loc, txn.txn_id)
+        for name, cols in self._index_cols.items():
+            self.indexes[name].mark_delete_pending(
+                self.schema.key_of(before, cols), loc, txn.txn_id
+            )
+        self.row_count -= 1
+        self._remember_nonfull(page)
+        self.counters.add("engine.rows_deleted")
+
+    #: Inserts are striped over several non-full pages.  A single append
+    #: page would serialise every concurrent inserting transaction on one
+    #: X page lock (the classic last-page hotspot); real storage managers
+    #: keep multiple insert free lists for exactly this reason.
+    INSERT_STRIPES = 8
+
+    def _allocate_slot(self, txn: Transaction) -> Tuple[Page, int]:
+        self._nonfull = [p for p in self._nonfull if not p.full]
+        candidates = self._nonfull
+        if candidates:
+            start = txn.txn_id % len(candidates)
+            rotated = candidates[start:] + candidates[:start]
+            unlocked = [
+                p for p in rotated
+                if not self.engine.controller.write_locked_by_other(txn, p)
+            ]
+            # Prefer a page no other transaction holds exclusively.
+            for page in unlocked:
+                self.engine.touch_write(txn, page)
+                slot = page.first_free_slot()
+                if slot is not None:
+                    return page, slot
+        if len(self._nonfull) < self.INSERT_STRIPES:
+            # Open a new stripe rather than blocking on a locked page.
+            page = self.store.allocate(self.name)
+            self._nonfull.append(page)
+            self.engine.touch_write(txn, page)
+            slot = page.first_free_slot()
+            assert slot is not None
+            return page, slot
+        # Stripe budget exhausted and every stripe is locked: block on the
+        # transaction's own stripe choice (FIFO fairness via the lock queue).
+        page = candidates[txn.txn_id % len(candidates)]
+        self.engine.touch_write(txn, page)
+        slot = page.first_free_slot()
+        if slot is None:  # raced to full while waiting for the lock
+            page = self.store.allocate(self.name)
+            self._nonfull.append(page)
+            self.engine.touch_write(txn, page)
+            slot = page.first_free_slot()
+        return page, slot
+
+    def _remember_nonfull(self, page: Page) -> None:
+        if not page.full and (not self._nonfull or self._nonfull[-1] is not page):
+            if page not in self._nonfull:
+                self._nonfull.append(page)
+
+    # -- read path -----------------------------------------------------------------
+    def fetch(self, txn: Transaction, loc: Loc) -> Optional[Row]:
+        """Row at ``loc``, or None for a dead slot (stale index entry)."""
+        page = self.store.get(loc[0])
+        self.engine.touch_read(txn, page)
+        self.counters.add("engine.rows_read")
+        return page.get(loc[1])
+
+    def fetch_for_update(self, txn: Transaction, loc: Loc) -> Optional[Row]:
+        """Fetch taking the write lock immediately (UPDATE/DELETE scans).
+
+        Acquiring X up front avoids the classic S->X upgrade deadlock when
+        two DML statements target rows on the same page.
+        """
+        page = self.store.get(loc[0])
+        self.engine.touch_write(txn, page)
+        self.counters.add("engine.rows_read")
+        return page.get(loc[1])
+
+    def scan(self, txn: Transaction) -> Iterator[Tuple[Loc, Row]]:
+        """Full table scan in page order."""
+        self.counters.add("engine.table_scans")
+        for page in list(self.store.pages_of(self.name)):
+            self.engine.touch_read(txn, page)
+            for slot, row in page.iter_live():
+                self.counters.add("engine.rows_read")
+                yield (page.page_id, slot), row
+
+    def pk_lookup(self, txn: Transaction, key: Key) -> List[Loc]:
+        return self.pk_index.lookup(key, txn.txn_id, self._tag_v(txn))
+
+    def index_lookup(self, txn: Transaction, index_name: str, key: Key) -> List[Loc]:
+        index = self._index(index_name)
+        return index.lookup(key, txn.txn_id, self._tag_v(txn))
+
+    def index_range(
+        self,
+        txn: Transaction,
+        index_name: str,
+        lo: Optional[Key],
+        hi: Optional[Key],
+        reverse: bool = False,
+    ) -> Iterator[Loc]:
+        index = self._index(index_name)
+        return index.range_lookup(lo, hi, txn.txn_id, self._tag_v(txn), reverse=reverse)
+
+    def index_range_encoded(
+        self,
+        txn: Transaction,
+        index_name: str,
+        lo_enc,
+        hi_enc,
+        reverse: bool = False,
+    ) -> Iterator[Loc]:
+        """Range scan with pre-encoded bounds (SQL planner fast path)."""
+        index = self._index(index_name)
+        return index.range_lookup_encoded(
+            lo_enc, hi_enc, txn.txn_id, self._tag_v(txn), reverse=reverse
+        )
+
+    def _index(self, name: str) -> VersionedTreeIndex:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise SchemaError(f"no index {name!r} on {self.name}") from None
+
+    # -- commit / abort bookkeeping ---------------------------------------------------
+    def stamp_commit(self, records: Sequence[UndoRecord], version: int) -> None:
+        """Stamp this table's pending index entries with the commit version."""
+        for record in records:
+            loc: Loc = (record.page_id, record.slot)
+            if record.before is None and record.after is not None:
+                self.pk_index.stamp_insert(self.schema.pk_of(record.after), loc, version)
+                for name, cols in self._index_cols.items():
+                    self.indexes[name].stamp_insert(
+                        self.schema.key_of(record.after, cols), loc, version
+                    )
+            elif record.after is None and record.before is not None:
+                self.pk_index.stamp_delete(self.schema.pk_of(record.before), loc, version)
+                for name, cols in self._index_cols.items():
+                    self.indexes[name].stamp_delete(
+                        self.schema.key_of(record.before, cols), loc, version
+                    )
+            else:
+                for name, cols in self._index_cols.items():
+                    old_key = self.schema.key_of(record.before, cols)
+                    new_key = self.schema.key_of(record.after, cols)
+                    if old_key != new_key:
+                        self.indexes[name].stamp_delete(old_key, loc, version)
+                        self.indexes[name].stamp_insert(new_key, loc, version)
+
+    def revert(self, record: UndoRecord) -> None:
+        """Undo one journal record (page slot + index entries)."""
+        page = self.store.get(record.page_id)
+        page.put(record.slot, record.before)
+        loc: Loc = (record.page_id, record.slot)
+        if record.before is None and record.after is not None:
+            self.pk_index.revert_insert(self.schema.pk_of(record.after), loc)
+            for name, cols in self._index_cols.items():
+                self.indexes[name].revert_insert(self.schema.key_of(record.after, cols), loc)
+            self.row_count -= 1
+            self._remember_nonfull(page)
+        elif record.after is None and record.before is not None:
+            self.pk_index.revert_delete(self.schema.pk_of(record.before), loc)
+            for name, cols in self._index_cols.items():
+                self.indexes[name].revert_delete(self.schema.key_of(record.before, cols), loc)
+            self.row_count += 1
+        else:
+            for name, cols in self._index_cols.items():
+                old_key = self.schema.key_of(record.before, cols)
+                new_key = self.schema.key_of(record.after, cols)
+                if old_key != new_key:
+                    self.indexes[name].revert_insert(new_key, loc)
+                    self.indexes[name].revert_delete(old_key, loc)
+
+    # -- slave apply path -----------------------------------------------------------
+    def index_apply_committed(self, op: PageOp, version: int) -> None:
+        """Eager index maintenance for one committed replicated op."""
+        loc: Loc = (op.page_id, op.slot)
+        if op.kind is OpKind.INSERT:
+            self.pk_index.add_committed(self.schema.pk_of(op.row), loc, version)
+            for name, cols in self._index_cols.items():
+                self.indexes[name].add_committed(self.schema.key_of(op.row, cols), loc, version)
+            self.row_count += 1
+        elif op.kind is OpKind.DELETE:
+            self.pk_index.mark_delete_committed(self.schema.pk_of(op.before), loc, version)
+            for name, cols in self._index_cols.items():
+                self.indexes[name].mark_delete_committed(
+                    self.schema.key_of(op.before, cols), loc, version
+                )
+            self.row_count -= 1
+        else:
+            for name, cols in self._index_cols.items():
+                old_key = self.schema.key_of(op.before, cols)
+                new_key = self.schema.key_of(op.row, cols)
+                if old_key != new_key:
+                    self.indexes[name].mark_delete_committed(old_key, loc, version)
+                    self.indexes[name].add_committed(new_key, loc, version)
+
+    def bulk_load(self, rows, version: int = 0) -> int:
+        """Load committed rows directly, bypassing transaction machinery.
+
+        Used for initial database population (the paper's "mmap an on-disk
+        database" step) and for index rebuilds after data migration.  Index
+        entries are stamped ``version`` (0 = visible at any tag).
+        """
+        count = 0
+        for values in rows:
+            row = self.schema.row_from_dict(values) if isinstance(values, dict) else tuple(values)
+            page, slot = self._bulk_slot()
+            page.put(slot, row)
+            page.version = max(page.version, version)
+            loc: Loc = (page.page_id, slot)
+            self.pk_index.add_committed(self.schema.pk_of(row), loc, version)
+            for name, cols in self._index_cols.items():
+                self.indexes[name].add_committed(self.schema.key_of(row, cols), loc, version)
+            count += 1
+        self.row_count += count
+        return count
+
+    def _bulk_slot(self) -> Tuple[Page, int]:
+        while self._nonfull:
+            page = self._nonfull[-1]
+            slot = page.first_free_slot()
+            if slot is not None:
+                return page, slot
+            self._nonfull.pop()
+        page = self.store.allocate(self.name)
+        self._nonfull.append(page)
+        return page, page.first_free_slot()
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild all index structures from current page contents.
+
+        Entries get ``insert_v = 0``: correct for a node that will only
+        serve tags at or above its catch-up version (reintegration path).
+        """
+        self.pk_index = VersionedHashIndex(f"{self.name}.pk", self.name, self.counters)
+        self.indexes = {
+            name: VersionedTreeIndex(name, self.name, self.counters)
+            for name in self._index_cols
+        }
+        self.row_count = 0
+        self._nonfull = []
+        for page in self.store.pages_of(self.name):
+            for slot, row in page.iter_live():
+                loc: Loc = (page.page_id, slot)
+                self.pk_index.add_committed(self.schema.pk_of(row), loc, 0)
+                for name, cols in self._index_cols.items():
+                    self.indexes[name].add_committed(self.schema.key_of(row, cols), loc, 0)
+                self.row_count += 1
+            if not page.full:
+                self._nonfull.append(page)
+
+    def gc_index_entries(self, watermark: int) -> int:
+        """Drop index entries deleted at or before ``watermark``."""
+        removed = self.pk_index.gc(watermark)
+        for index in self.indexes.values():
+            removed += index.gc(watermark)
+        return removed

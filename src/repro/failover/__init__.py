@@ -1,0 +1,29 @@
+"""Failure reconfiguration: the paper's Section 4.
+
+* :func:`cleanup_after_master_failure` / :func:`promote_slave_to_master` —
+  discard partially propagated write-sets, elect and promote a new master;
+* :func:`integrate_stale_node` — version-aware page migration from a
+  support slave (instead of log replay), plus index rebuild;
+* :func:`restore_from_checkpoint` — reboot path from fuzzy checkpoints;
+* :func:`ship_page_ids` — the page-id-transfer warm-up for spare backups
+  (Figure 9); the 1 %-of-reads warm-up (Figure 8) is the scheduler's
+  ``spare_read_fraction``.
+"""
+
+from repro.failover.recovery import (
+    cleanup_after_master_failure,
+    elect_new_master,
+    promote_slave_to_master,
+)
+from repro.failover.reintegration import MigrationStats, integrate_stale_node, restore_from_checkpoint
+from repro.failover.warmup import ship_page_ids
+
+__all__ = [
+    "cleanup_after_master_failure",
+    "promote_slave_to_master",
+    "elect_new_master",
+    "integrate_stale_node",
+    "restore_from_checkpoint",
+    "MigrationStats",
+    "ship_page_ids",
+]

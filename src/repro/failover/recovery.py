@@ -1,0 +1,62 @@
+"""Master-failure recovery (paper §4.2).
+
+Upon master failure a scheduler takes charge:
+
+1. every remaining replica discards modification-log records with versions
+   higher than the last version the scheduler saw from the failed master
+   (cleaning up pre-commit flushes that were never acknowledged);
+2. a new master is elected from the slaves and promoted: it applies all its
+   buffered modifications, adopts the confirmed version vector and switches
+   to two-phase-locking mode;
+3. the scheduler repoints the failed master's conflict classes.
+
+Effects of in-flight transactions on the failed master are lost by
+construction — all their modifications were internal to it until the
+pre-commit broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.errors import NodeUnavailable
+from repro.common.versions import VersionVector
+from repro.core.master import MasterReplica
+from repro.core.slave import SlaveReplica
+from repro.engine.engine import TwoPhaseLocking
+
+
+def cleanup_after_master_failure(
+    slaves: Iterable[SlaveReplica], confirmed: VersionVector
+) -> int:
+    """Step 1: discard unacknowledged write-sets everywhere; returns ops dropped."""
+    return sum(slave.discard_above(confirmed) for slave in slaves)
+
+
+def elect_new_master(candidates: Sequence[SlaveReplica]) -> SlaveReplica:
+    """Pick the replacement master (deterministic: lowest node id)."""
+    alive = list(candidates)
+    if not alive:
+        raise NodeUnavailable("no surviving slave to promote")
+    return min(alive, key=lambda s: s.node_id)
+
+
+def promote_slave_to_master(
+    slave: SlaveReplica, confirmed: Optional[VersionVector] = None
+) -> MasterReplica:
+    """Step 2: switch a slave into master mode.
+
+    The slave applies everything it buffered (all of it is confirmed after
+    :func:`cleanup_after_master_failure`), adopts the confirmed version
+    vector, and its engine switches to 2PL.  The same engine object keeps
+    serving — its warm state is exactly why in-memory failover is fast.
+    """
+    slave.apply_all_pending()
+    engine = slave.engine
+    engine.abort_all_active(reason="promotion")
+    engine.set_controller(TwoPhaseLocking())
+    if confirmed is not None:
+        engine.versions = confirmed.copy()
+    else:
+        engine.versions = slave.received_versions.copy()
+    return MasterReplica(slave.node_id, engine=engine, counters=slave.counters)

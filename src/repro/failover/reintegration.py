@@ -1,0 +1,81 @@
+"""Data migration for integrating stale or recovering nodes (paper §4.4).
+
+The joining node subscribes to the masters' replication streams first (in
+catch-up mode: ops buffer without being applied), then asks a *support
+slave* for every page newer than its own per-page versions.  The support
+node transmits only changed pages — pages that may have collapsed long
+chains of row modifications, which is why page migration beats log replay.
+
+Flow (mirrors the paper):
+
+1. joiner contacts a scheduler, learns masters + a support slave;
+2. joiner subscribes (``catching_up = True``) and starts buffering;
+3. joiner sends its page->version map; support replies with newer pages;
+4. joiner installs pages (dropping covered buffered ops), rebuilds indexes,
+   index-applies the remaining buffered ops, and goes active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.versions import VersionVector
+from repro.core.slave import SlaveReplica
+from repro.storage.checkpoint import StableStore
+
+
+@dataclass
+class MigrationStats:
+    """What one reintegration moved (drives the migration-time cost model)."""
+
+    pages_sent: int = 0
+    bytes_sent: int = 0
+    ops_dropped_as_covered: int = 0
+    ops_index_applied: int = 0
+    page_ids: list = None
+
+    def __post_init__(self) -> None:
+        if self.page_ids is None:
+            self.page_ids = []
+
+
+def integrate_stale_node(
+    joiner: SlaveReplica, support: SlaveReplica
+) -> MigrationStats:
+    """Steps 3-4: page transfer from ``support`` into ``joiner``.
+
+    ``joiner`` must already be subscribed in catch-up mode (so every
+    write-set committed after its version map was taken is buffered).
+    """
+    stats = MigrationStats()
+    # The joiner advertises its *applied* page versions (checkpoint image),
+    # not its buffered-op headroom: ops buffered since subscription cannot
+    # be applied onto a base that is missing earlier modifications.
+    wanted = joiner.engine.store.version_map()
+    pending_before = joiner.pending_op_count()
+    images = support.snapshot_pages_newer_than(wanted)
+    for image in images:
+        joiner.receive_page(image)
+        stats.pages_sent += 1
+        stats.bytes_sent += image.page.byte_size()
+        stats.page_ids.append(image.page_id)
+    stats.ops_dropped_as_covered = pending_before - joiner.pending_op_count()
+    stats.ops_index_applied = joiner.pending_op_count()
+    if joiner.catching_up:
+        joiner.finish_catchup()
+    return stats
+
+
+def restore_from_checkpoint(slave: SlaveReplica, stable: StableStore) -> int:
+    """Reboot path: reload pages from the node's fuzzy checkpoint.
+
+    Returns the number of pages restored.  The slave is left in catch-up
+    mode, ready for :func:`integrate_stale_node` to fetch newer pages.
+    """
+    slave.engine.store.clear()
+    slave.pending.clear()
+    slave.received_versions = VersionVector()
+    restored = stable.restore_into(slave.engine.store)
+    slave.catching_up = True
+    return restored

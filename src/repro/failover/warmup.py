@@ -1,0 +1,32 @@
+"""Spare-backup buffer-cache warm-up strategies (paper §4.5).
+
+Strategy 1 — **query execution**: the scheduler diverts a small fraction
+(~1 %) of the read-only workload to the spare; implemented by
+``VersionAwareScheduler(spare_read_fraction=...)``.
+
+Strategy 2 — **page-id transfer**: a designated active slave periodically
+ships the identifiers of its hottest resident pages; the backup merely
+touches them to keep them swapped in, spending almost no CPU.  This module
+implements the transfer itself; the cluster layer schedules it every N
+transactions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.ids import PageId
+from repro.storage.cache import PageCache
+
+
+def ship_page_ids(active: PageCache, backup: PageCache, limit: int = 0) -> List[PageId]:
+    """Copy the active slave's hottest page ids into the backup's cache.
+
+    Returns the shipped ids (for network-size accounting).  ``limit = 0``
+    ships the whole resident set.
+    """
+    count = limit if limit > 0 else active.resident_count()
+    hottest = active.hottest(count)
+    # Warm coldest-first so the backup's LRU order mirrors the active's.
+    backup.warm(reversed(hottest))
+    return hottest

@@ -1,0 +1,27 @@
+"""Schedulers: transaction routing for the in-memory and on-disk tiers.
+
+* :class:`VersionAwareScheduler` — the paper's DMV scheduler: routes update
+  transactions to conflict-class masters, tags read-only transactions with
+  the latest merged version vector and places them on replicas already
+  serving that version (falling back to load balancing).
+* :class:`ConflictAwareScheduler` — the replicated on-disk baseline
+  (the paper's §6.2 InnoDB configuration with a conflict-aware scheduler).
+* :class:`QueryLog` — the scheduler-side log of committed update queries,
+  used to feed the persistence tier and to refresh stale backups.
+
+These are pure routing/state objects; the cluster layer moves the actual
+messages and reports completions back.
+"""
+
+from repro.scheduler.querylog import LoggedUpdate, QueryLog
+from repro.scheduler.versionaware import RoutedRead, SlaveState, VersionAwareScheduler
+from repro.scheduler.conflictaware import ConflictAwareScheduler
+
+__all__ = [
+    "VersionAwareScheduler",
+    "RoutedRead",
+    "SlaveState",
+    "ConflictAwareScheduler",
+    "QueryLog",
+    "LoggedUpdate",
+]

@@ -1,0 +1,68 @@
+"""The scheduler's log of committed update transactions.
+
+Upon each commit confirmed by an in-memory master, the scheduler logs the
+transaction's update queries (as query strings — a "lightweight database
+insert" in the paper) and forwards them asynchronously to the on-disk
+persistence tier.  The same log refreshes stale backups and replays missing
+updates during on-disk failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LoggedUpdate:
+    """One committed update transaction: its queries and commit versions."""
+
+    txn_id: int
+    queries: Tuple[Tuple[str, Tuple], ...]  # (sql, params) in execution order
+    versions: Dict[str, int] = field(default_factory=dict)
+
+    def byte_size(self) -> int:
+        total = 32
+        for sql, params in self.queries:
+            total += len(sql) + sum(len(str(p)) + 2 for p in params)
+        return total
+
+
+class QueryLog:
+    """Append-only log of committed updates with replay cursors."""
+
+    def __init__(self) -> None:
+        self._entries: List[LoggedUpdate] = []
+        #: consumer name -> index of the next entry it has not seen.
+        self._cursors: Dict[str, int] = {}
+
+    def append(self, entry: LoggedUpdate) -> int:
+        """Append one committed transaction; returns its log index."""
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def since(self, index: int) -> List[LoggedUpdate]:
+        return self._entries[index:]
+
+    # -- consumer cursors (on-disk replicas, stale backups) -------------------------
+    def cursor(self, consumer: str) -> int:
+        return self._cursors.get(consumer, 0)
+
+    def pending_for(self, consumer: str) -> List[LoggedUpdate]:
+        return self._entries[self.cursor(consumer):]
+
+    def advance(self, consumer: str, count: int) -> None:
+        self._cursors[consumer] = min(self.cursor(consumer) + count, len(self._entries))
+
+    def set_cursor(self, consumer: str, index: int) -> None:
+        self._cursors[consumer] = max(0, min(index, len(self._entries)))
+
+    def lag_of(self, consumer: str) -> int:
+        """How many committed transactions the consumer has not applied."""
+        return len(self._entries) - self.cursor(consumer)
+
+    def bytes_since(self, index: int) -> int:
+        return sum(e.byte_size() for e in self._entries[index:])

@@ -1,0 +1,167 @@
+"""The version-aware DMV scheduler (Section 2.2 of the paper).
+
+Routing rules:
+
+* update transactions go to the master of their conflict class (single
+  master fallback when classes are unknown);
+* read-only transactions are tagged with the latest merged version vector
+  and sent to a replica already serving that exact version if one exists,
+  otherwise to the least-loaded active slave;
+* optionally, reads whose tables do not intersect a master's conflict
+  classes may run on that master;
+* a configurable fraction of reads is diverted to warm spare backups
+  (the Figure 8 warm-up strategy).
+
+The scheduler's only hard state is the version vector (plus the query log
+for the persistence tier), which is why scheduler failover is nearly free:
+peers merely merge version vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.counters import Counters
+from repro.common.errors import NodeUnavailable
+from repro.common.ids import NodeId
+from repro.common.rng import RngStream
+from repro.common.versions import VersionVector
+from repro.core.conflictclass import ConflictClassMap
+from repro.scheduler.querylog import LoggedUpdate, QueryLog
+
+
+@dataclass
+class SlaveState:
+    """What the scheduler tracks per in-memory replica."""
+
+    node_id: NodeId
+    spare: bool = False
+    outstanding: int = 0
+    #: version vector of the last read-only txn routed here (affinity).
+    last_tag: VersionVector = field(default_factory=VersionVector)
+
+
+@dataclass(frozen=True)
+class RoutedRead:
+    """Routing decision for one read-only transaction."""
+
+    node_id: NodeId
+    tag: VersionVector
+
+
+class VersionAwareScheduler:
+    """Pure routing + version bookkeeping for the in-memory tier."""
+
+    def __init__(
+        self,
+        scheduler_id: NodeId,
+        conflict_map: ConflictClassMap,
+        rng: Optional[RngStream] = None,
+        reads_on_master: bool = False,
+        spare_read_fraction: float = 0.0,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.scheduler_id = scheduler_id
+        self.conflict_map = conflict_map
+        self.rng = rng if rng is not None else RngStream(0, "scheduler", scheduler_id)
+        self.reads_on_master = reads_on_master
+        self.spare_read_fraction = spare_read_fraction
+        self.counters = counters if counters is not None else Counters()
+        self.latest = VersionVector()
+        self.slaves: Dict[NodeId, SlaveState] = {}
+        self.masters: Set[NodeId] = set(conflict_map.masters_in_use())
+        self.query_log = QueryLog()
+
+    # -- topology -----------------------------------------------------------------
+    def add_slave(self, node_id: NodeId, spare: bool = False) -> None:
+        self.slaves[node_id] = SlaveState(node_id, spare=spare)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        self.slaves.pop(node_id, None)
+        self.masters.discard(node_id)
+
+    def promote_spare(self, node_id: NodeId) -> None:
+        """Turn a warm backup into an active slave (failover)."""
+        state = self.slaves.get(node_id)
+        if state is None:
+            raise NodeUnavailable(f"unknown spare {node_id}")
+        state.spare = False
+
+    def active_slaves(self) -> List[SlaveState]:
+        return [s for s in self.slaves.values() if not s.spare]
+
+    def spare_slaves(self) -> List[SlaveState]:
+        return [s for s in self.slaves.values() if s.spare]
+
+    # -- routing --------------------------------------------------------------------
+    def route_update(self, tables: Iterable[str]) -> NodeId:
+        master = self.conflict_map.master_for_tables(tables)
+        self.counters.add("sched.updates_routed")
+        return master
+
+    def route_read(self, tables: Sequence[str]) -> RoutedRead:
+        """Tag with the latest version vector and pick a replica."""
+        tag = self.latest.copy()
+        self.counters.add("sched.reads_routed")
+        spares = self.spare_slaves()
+        if spares and self.spare_read_fraction > 0:
+            if self.rng.random() < self.spare_read_fraction:
+                spare = min(spares, key=lambda s: (s.outstanding, s.node_id))
+                self.counters.add("sched.reads_to_spares")
+                return self._assign(spare, tag)
+        candidates = self.active_slaves()
+        if self.reads_on_master and not candidates:
+            for master in sorted(self.masters):
+                if not self.conflict_map.conflicts_with_master(master, tables):
+                    self.counters.add("sched.reads_on_master")
+                    return RoutedRead(master, tag)
+        if not candidates:
+            raise NodeUnavailable("no active slaves available for read routing")
+        # Prefer replicas already serving exactly this version.
+        same_version = [s for s in candidates if s.last_tag == tag]
+        pool = same_version if same_version else candidates
+        if same_version:
+            self.counters.add("sched.reads_version_affinity")
+        chosen = min(pool, key=lambda s: (s.outstanding, s.node_id))
+        return self._assign(chosen, tag)
+
+    def _assign(self, state: SlaveState, tag: VersionVector) -> RoutedRead:
+        state.outstanding += 1
+        state.last_tag = tag
+        return RoutedRead(state.node_id, tag)
+
+    def note_read_done(self, node_id: NodeId) -> None:
+        state = self.slaves.get(node_id)
+        if state is not None and state.outstanding > 0:
+            state.outstanding -= 1
+
+    # -- commit bookkeeping ------------------------------------------------------------
+    def on_master_commit(
+        self,
+        master_id: NodeId,
+        versions: Dict[str, int],
+        queries: Sequence[Tuple[str, Tuple]] = (),
+        txn_id: int = 0,
+    ) -> None:
+        """Merge the master's new version vector; log queries for disk tier."""
+        self.latest.merge(VersionVector(versions))
+        if queries:
+            self.query_log.append(LoggedUpdate(txn_id, tuple(queries), dict(versions)))
+        self.counters.add("sched.commits_recorded")
+
+    # -- failure reconfiguration ----------------------------------------------------------
+    def on_master_failure(self, failed: NodeId, replacement: NodeId) -> int:
+        """Repoint the failed master's conflict classes at the replacement."""
+        self.slaves.pop(replacement, None)  # promoted slave leaves the pool
+        self.masters.discard(failed)
+        self.masters.add(replacement)
+        return self.conflict_map.reassign_master(failed, replacement)
+
+    # -- peer replication (scheduler failover) ----------------------------------------------
+    def export_state(self) -> Dict[str, int]:
+        """The scheduler's tiny replicable state: just DBVersion."""
+        return self.latest.as_dict()
+
+    def import_state(self, state: Dict[str, int]) -> None:
+        self.latest.merge(VersionVector(state))

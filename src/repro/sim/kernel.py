@@ -1,0 +1,321 @@
+"""Event loop, events and generator processes.
+
+Design notes
+------------
+* The event heap is ordered by ``(time, sequence)``; the sequence number
+  makes simultaneous events fire in schedule order, which keeps whole
+  cluster runs deterministic.
+* A :class:`Process` wraps a generator.  The generator may yield:
+    - a :class:`Timeout` — resume after virtual delay,
+    - any :class:`Event` — resume when it succeeds (with its value),
+    - another :class:`Process` — resume when the child finishes.
+* Uncaught exceptions in a process fail its completion event.  If nothing
+  is waiting on that event the exception is re-raised from
+  :meth:`Simulator.run` — errors never pass silently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either successfully (``succeed``)
+    or with an exception (``fail``).  Waiters registered before or after the
+    trigger both observe the outcome.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "ok", "value", "defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: List[Callable[[Event], None]] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+        self.defused = False
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._ready(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = False
+        self.value = exc
+        self.sim._ready(self)
+        return self
+
+    def cancel(self, reason: str = "cancelled") -> "Event":
+        """Trigger the event as a *defused* failure.
+
+        Waiters (if any) still see the error, but an untriggered event that
+        nobody waits on can be cancelled without poisoning the run loop —
+        used when a resource waiter's owner dies.
+        """
+        self.defused = True
+        return self.fail(RuntimeError(reason))
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Already fired: deliver on the next loop iteration to keep
+            # callback ordering consistent with the not-yet-fired case.
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    # Internal: deliver outcome to registered callbacks.
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self.triggered:
+            self.succeed(None)
+
+
+class AnyOf(Event):
+    """Succeeds when the first of several events succeeds.
+
+    The value is the (event, value) pair of the first trigger.  Failures of
+    the first-triggering event propagate.
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._done = False
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if event.ok:
+            self.succeed((event, event.value))
+        else:
+            self.fail(event.value)
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded (barrier).
+
+    The value is the list of child values in construction order.  The first
+    child failure fails the barrier.
+    """
+
+    __slots__ = ("_children", "_remaining", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        self._done = False
+        if not self._children:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._done:
+            return
+        if not event.ok:
+            self._done = True
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._done = True
+            self.succeed([e.value for e in self._children])
+
+
+class Process(Event):
+    """A running generator; doubles as its own completion event."""
+
+    __slots__ = ("name", "_gen", "_target", "_interrupts", "_started", "dead")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "proc") -> None:
+        super().__init__(sim)
+        self.name = name
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        self._started = False
+        self.dead = False
+        sim.schedule(0.0, self._step, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resumption.
+
+        Interrupting a finished process is a no-op, which lets failure
+        injectors kill node process groups without bookkeeping races.
+        """
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # Detach from whatever it was waiting on and wake immediately.
+        self.sim.schedule(0.0, self._step, None)
+
+    # -- generator stepping -------------------------------------------------
+    def _on_target(self, event: Event) -> None:
+        if self._target is event:
+            self._target = None
+            self._step(event)
+
+    def _step(self, event: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        if event is None and self._interrupts:
+            # Interrupt delivery: abandon the current wait target.
+            self._target = None
+        elif event is None and self._started and self._target is not None:
+            # Spurious wake-up (e.g. interrupt scheduled then resolved);
+            # still waiting on a live target.
+            return
+        self._started = True
+        try:
+            if self._interrupts:
+                exc = self._interrupts.pop(0)
+                yielded = self._gen.throw(exc)
+            elif event is None:
+                yielded = next(self._gen)
+            elif event.ok:
+                yielded = self._gen.send(event.value)
+            else:
+                yielded = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # Interrupt escaped the generator: treat as cancellation.
+            self.dead = True
+            self.succeed(exc.cause)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must forward all
+            self.fail(exc)
+            return
+        if not isinstance(yielded, Event):
+            self.fail(TypeError(f"process {self.name} yielded {yielded!r}"))
+            return
+        self._target = yielded
+        yielded.add_callback(self._on_target)
+
+
+class Simulator:
+    """The event loop: a heap of timed callbacks plus a virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._unhandled: List[BaseException] = []
+
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    # -- event outcome delivery ----------------------------------------------
+    def _ready(self, event: Event) -> None:
+        self.schedule(0.0, self._deliver, event)
+
+    def _deliver(self, event: Event) -> None:
+        if not event.ok and not event._callbacks and not event.defused:
+            # Nobody is waiting: surface the error from run().
+            if not isinstance(event, Process) or not event.dead:
+                self._unhandled.append(event.value)
+        event._dispatch()
+
+    # -- main loop -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the virtual time at which the loop stopped.  Re-raises the
+        first unhandled process exception, if any.
+        """
+        while self._heap:
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+            if self._unhandled:
+                raise self._unhandled.pop(0)
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:
+        """Run until ``process`` finishes; return its value (or raise)."""
+        self.run(until=None if limit is None else self._now + limit)
+        if not process.triggered:
+            raise RuntimeError(f"process {process.name} did not finish by t={self._now}")
+        if not process.ok:
+            raise process.value
+        return process.value

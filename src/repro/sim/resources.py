@@ -1,0 +1,158 @@
+"""Capacity-limited resources and queues for the simulation kernel.
+
+``Resource`` models a counted resource (CPU cores, disk channels).
+``Server`` wraps a resource with a convenience generator that acquires a
+slot, holds it for a service duration and releases it — the standard
+"charge service time" pattern used by every simulated node.
+``Store`` is an unbounded FIFO used for mailboxes and work queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.sim.kernel import Event, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield sim.timeout(duration)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Cumulative busy time bookkeeping for utilisation reporting.
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        now = self.sim.now()
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        event = self.sim.event()
+        if self.in_use < self.capacity and not self._waiters:
+            self._account()
+            self.in_use += 1
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def acquire(self):
+        """Interrupt-safe acquisition: ``yield from resource.acquire()``.
+
+        If the waiting process is interrupted in the same instant its grant
+        fires, the slot is handed back instead of leaking.
+        """
+        grant = self.request()
+        try:
+            yield grant
+        except BaseException:
+            if grant.triggered and grant.ok:
+                self.release()
+            else:
+                grant.cancel("acquire interrupted")
+            raise
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching request")
+        self._account()
+        self.in_use -= 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue  # waiter was cancelled/interrupted
+            self._account()
+            self.in_use += 1
+            waiter.succeed(None)
+            break
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of capacity busy over ``elapsed`` time units."""
+        if elapsed <= 0:
+            return 0.0
+        self._account()
+        return self._busy_integral / (elapsed * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Server:
+    """A resource plus the acquire/hold/release idiom as one generator."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self.resource = Resource(sim, capacity)
+        self.jobs_done = 0
+
+    def serve(self, duration: float) -> Generator[Event, Any, None]:
+        """Hold one slot for ``duration`` virtual time units."""
+        grant = self.resource.request()
+        yield grant
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+        finally:
+            self.resource.release()
+            self.jobs_done += 1
+
+    def utilization(self, elapsed: float) -> float:
+        return self.resource.utilization(elapsed)
+
+
+class Store:
+    """Unbounded FIFO channel between processes (mailbox semantics)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (immediately if queued)."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> List[Any]:
+        """Remove and return all currently queued items."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,163 @@
+"""Measurement helpers: time series, rate windows and latency histograms.
+
+The failover figures in the paper plot client-perceived throughput and
+latency averaged over 20-second intervals; :class:`WindowedRate` and
+:class:`TimeSeries` produce exactly those series.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """Append-only (time, value) samples with simple reduction helpers."""
+
+    name: str = "series"
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with start <= t < end."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return TimeSeries(self.name, self.times[lo:hi], self.values[lo:hi])
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def bucketed(self, width: float) -> "TimeSeries":
+        """Average samples into fixed-width time buckets (paper-style plots)."""
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out = TimeSeries(f"{self.name}/{width:g}s")
+        if not self.times:
+            return out
+        bucket_start = math.floor(self.times[0] / width) * width
+        acc: List[float] = []
+        for t, v in zip(self.times, self.values):
+            while t >= bucket_start + width:
+                if acc:
+                    out.record(bucket_start + width / 2, sum(acc) / len(acc))
+                    acc = []
+                bucket_start += width
+            acc.append(v)
+        if acc:
+            out.record(bucket_start + width / 2, sum(acc) / len(acc))
+        return out
+
+    def rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+
+class WindowedRate:
+    """Counts events and reports completions-per-second per fixed window.
+
+    Used for WIPS (web interactions per second): ``mark`` each completed
+    interaction, then :meth:`series` returns one throughput sample per
+    window — the same reduction the paper uses for its throughput plots.
+    """
+
+    def __init__(self, window: float = 20.0, name: str = "rate") -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.name = name
+        self._counts: Dict[int, int] = {}
+
+    def mark(self, time: float, count: int = 1) -> None:
+        self._counts[int(time // self.window)] = (
+            self._counts.get(int(time // self.window), 0) + count
+        )
+
+    def series(self, start: float = 0.0, end: float | None = None) -> TimeSeries:
+        """Throughput (events/sec) sampled at each window midpoint."""
+        out = TimeSeries(self.name)
+        if not self._counts and end is None:
+            return out
+        first = int(start // self.window)
+        last = int(((end if end is not None else 0) // self.window))
+        if self._counts:
+            last = max(last, max(self._counts))
+        for idx in range(first, last + 1):
+            midpoint = (idx + 0.5) * self.window
+            out.record(midpoint, self._counts.get(idx, 0) / self.window)
+        return out
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+
+class Histogram:
+    """Reservoir-free latency histogram storing raw samples.
+
+    Experiments here record at most a few hundred thousand samples, so raw
+    storage is simpler and exact percentiles are worth it.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    def merge(self, other: "Histogram") -> None:
+        self._samples.extend(other._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] by nearest-rank."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": max(self._samples) if self._samples else 0.0,
+        }
+
+
+def pretty_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (used by the benchmark reports)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Abstract syntax tree node types for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- expressions ----------------------------------------------------------------
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str | None
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder, numbered left to right from zero."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: Optional[str]  # alias or table name, None if unqualified
+    column: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # = <> < <= > >= + - * / % and or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # - not
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # count sum avg min max (aggregates) or scalar functions
+    args: Tuple["Expr", ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class Like:
+    expr: "Expr"
+    pattern: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: "Expr"
+    items: Tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    expr: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    expr: "Expr"
+    negated: bool = False
+
+
+Expr = Union[Literal, Param, ColumnRef, BinOp, UnaryOp, FuncCall, Like, InList, Between, IsNull]
+
+AGGREGATE_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+
+def is_aggregate(expr: Expr) -> bool:
+    """Does the expression tree contain an aggregate function call?"""
+    if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCS:
+        return True
+    if isinstance(expr, BinOp):
+        return is_aggregate(expr.left) or is_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return is_aggregate(expr.operand)
+    return False
+
+
+def column_refs(expr: Expr) -> List[ColumnRef]:
+    """All column references in an expression tree."""
+    out: List[ColumnRef] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            out.append(node)
+        elif isinstance(node, BinOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Like):
+            walk(node.expr)
+            walk(node.pattern)
+        elif isinstance(node, InList):
+            walk(node.expr)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, Between):
+            walk(node.expr)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, IsNull):
+            walk(node.expr)
+
+    walk(expr)
+    return out
+
+
+# -- statements ---------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]  # empty means SELECT *
+    tables: List[TableRef] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    rows: List[List[Expr]]
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+Statement = Union[Select, Insert, Update, Delete]

@@ -1,0 +1,104 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token`; the parser walks it with one-token
+lookahead.  Keywords are case-insensitive; identifiers preserve case but
+compare lowercased.  String literals use single quotes with ``''`` as the
+escape for a quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import SqlError
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "insert", "into", "values",
+    "update", "set", "delete", "group", "by", "having", "order", "asc", "desc", "limit",
+    "offset", "join", "inner", "on", "as", "like", "in", "between", "is",
+    "null", "distinct", "count", "sum", "avg", "min", "max",
+}
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%")
+PUNCTUATION = ("(", ")", ",", ".", "?", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | punct | end
+    value: str
+    position: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # Guard against "1.e" style or identifier dots like "a.b".
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("end", "", n))
+    return tokens

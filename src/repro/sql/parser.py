@@ -1,0 +1,395 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar sketch (lowercase = keyword)::
+
+    statement   := select | insert | update | delete
+    select      := SELECT [DISTINCT] (star | item (, item)*) FROM tables
+                   [WHERE expr] [GROUP BY expr (, expr)*]
+                   [ORDER BY order (, order)*] [LIMIT expr [OFFSET expr]]
+    tables      := tableref (, tableref | [INNER] JOIN tableref ON expr)*
+    insert      := INSERT INTO name (cols) VALUES (exprs) (, (exprs))*
+    update      := UPDATE name SET col = expr (, col = expr)* [WHERE expr]
+    delete      := DELETE FROM name [WHERE expr]
+
+Explicit JOIN ... ON is folded into the table list plus a WHERE conjunct —
+the planner works on conjunctive predicates uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SqlError
+from repro.sql.ast_nodes import (
+    Between,
+    BinOp,
+    ColumnRef,
+    Delete,
+    Expr,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Param,
+    Select,
+    SelectItem,
+    Statement,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.sql.lexer import Token, tokenize
+
+AGG_KEYWORDS = ("count", "sum", "avg", "min", "max")
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token plumbing --------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def accept_kw(self, word: str) -> bool:
+        if self.peek().is_kw(word):
+            self.next()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            self.error(f"expected {word.upper()}")
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token.kind == "punct" and token.value == char:
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            self.error(f"expected {char!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            self.error("expected identifier")
+        self.next()
+        return token.value
+
+    def error(self, message: str) -> None:
+        token = self.peek()
+        raise SqlError(f"{message} at position {token.position} (near {token.value!r}) in: {self.sql}")
+
+    # -- statements ---------------------------------------------------------------
+    def parse(self) -> Statement:
+        token = self.peek()
+        if token.is_kw("select"):
+            stmt = self.parse_select()
+        elif token.is_kw("insert"):
+            stmt = self.parse_insert()
+        elif token.is_kw("update"):
+            stmt = self.parse_update()
+        elif token.is_kw("delete"):
+            stmt = self.parse_delete()
+        else:
+            self.error("expected SELECT, INSERT, UPDATE or DELETE")
+        self.accept_punct(";")
+        if self.peek().kind != "end":
+            self.error("trailing tokens after statement")
+        return stmt
+
+    def parse_select(self) -> Select:
+        self.expect_kw("select")
+        distinct = self.accept_kw("distinct")
+        star = False
+        items: List[SelectItem] = []
+        if self.peek().kind == "op" and self.peek().value == "*":
+            self.next()
+            star = True
+        else:
+            items.append(self.parse_select_item())
+            while self.accept_punct(","):
+                items.append(self.parse_select_item())
+        self.expect_kw("from")
+        tables, join_conds = self.parse_tables()
+        where = self.parse_expr() if self.accept_kw("where") else None
+        for cond in join_conds:
+            where = cond if where is None else BinOp("and", where, cond)
+        group_by: List[Expr] = []
+        having = None
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+            if self.accept_kw("having"):
+                having = self.parse_expr()
+        order_by: List[OrderItem] = []
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = offset = None
+        if self.accept_kw("limit"):
+            limit = self.parse_expr()
+            if self.accept_kw("offset"):
+                offset = self.parse_expr()
+        return Select(
+            items, tables, where, group_by, having, order_by, limit, offset, distinct, star
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_kw("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.expect_ident()
+        return SelectItem(expr, alias)
+
+    def parse_tables(self) -> Tuple[List[TableRef], List[Expr]]:
+        tables = [self.parse_table_ref()]
+        join_conds: List[Expr] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.parse_table_ref())
+            elif self.peek().is_kw("inner") or self.peek().is_kw("join"):
+                self.accept_kw("inner")
+                self.expect_kw("join")
+                tables.append(self.parse_table_ref())
+                self.expect_kw("on")
+                join_conds.append(self.parse_expr())
+            else:
+                return tables, join_conds
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.expect_ident()
+        return TableRef(name, alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_kw("desc"):
+            descending = True
+        else:
+            self.accept_kw("asc")
+        return OrderItem(expr, descending)
+
+    def parse_insert(self) -> Insert:
+        self.expect_kw("insert")
+        self.expect_kw("into")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        self.expect_kw("values")
+        rows = [self.parse_value_row(len(columns))]
+        while self.accept_punct(","):
+            rows.append(self.parse_value_row(len(columns)))
+        return Insert(table, columns, rows)
+
+    def parse_value_row(self, expected: int) -> List[Expr]:
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        if len(values) != expected:
+            self.error(f"VALUES row has {len(values)} values, expected {expected}")
+        return values
+
+    def parse_update(self) -> Update:
+        self.expect_kw("update")
+        table = self.expect_ident()
+        self.expect_kw("set")
+        assignments = [self.parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_expr() if self.accept_kw("where") else None
+        return Update(table, assignments, where)
+
+    def parse_assignment(self) -> Tuple[str, Expr]:
+        column = self.expect_ident()
+        token = self.peek()
+        if token.kind != "op" or token.value != "=":
+            self.error("expected = in SET clause")
+        self.next()
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> Delete:
+        self.expect_kw("delete")
+        self.expect_kw("from")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_kw("where") else None
+        return Delete(table, where)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_kw("or"):
+            left = BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_kw("and"):
+            left = BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_kw("not"):
+            return UnaryOp("not", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        negated = False
+        if token.is_kw("not"):
+            follow = self.peek(1)
+            if follow.is_kw("like") or follow.is_kw("in") or follow.is_kw("between"):
+                self.next()
+                negated = True
+                token = self.peek()
+        if token.is_kw("like"):
+            self.next()
+            return Like(left, self.parse_additive(), negated)
+        if token.is_kw("in"):
+            self.next()
+            self.expect_punct("(")
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            return InList(left, tuple(items), negated)
+        if token.is_kw("between"):
+            self.next()
+            low = self.parse_additive()
+            self.expect_kw("and")
+            return Between(left, low, self.parse_additive(), negated)
+        if token.is_kw("is"):
+            self.next()
+            neg = self.accept_kw("not")
+            self.expect_kw("null")
+            return IsNull(left, neg)
+        if token.kind == "op" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = "<>" if token.value == "!=" else token.value
+            self.next()
+            return BinOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self.next()
+                left = BinOp(token.value, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self.next()
+                left = BinOp(token.value, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.value == "-":
+            self.next()
+            return UnaryOp("-", self.parse_unary())
+        if token.kind == "op" and token.value == "+":
+            self.next()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.next()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.kind == "string":
+            self.next()
+            return Literal(token.value)
+        if token.is_kw("null"):
+            self.next()
+            return Literal(None)
+        if token.kind == "punct" and token.value == "?":
+            self.next()
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.kind == "punct" and token.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "keyword" and token.value in AGG_KEYWORDS:
+            return self.parse_function(token.value)
+        if token.kind == "ident":
+            follow = self.peek(1)
+            if follow.kind == "punct" and follow.value == "(":
+                return self.parse_function(token.value.lower())
+            return self.parse_column_ref()
+        self.error("expected expression")
+        raise AssertionError  # unreachable; error() always raises
+
+    def parse_function(self, name: str) -> Expr:
+        self.next()  # function name token
+        self.expect_punct("(")
+        if name == "count" and self.peek().kind == "op" and self.peek().value == "*":
+            self.next()
+            self.expect_punct(")")
+            return FuncCall("count", (), star=True)
+        distinct = self.accept_kw("distinct")
+        args: List[Expr] = []
+        if not self.accept_punct(")"):
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+        return FuncCall(name, tuple(args), distinct=distinct)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_punct("."):
+            return ColumnRef(first, self.expect_ident())
+        return ColumnRef(None, first)
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(sql).parse()

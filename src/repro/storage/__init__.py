@@ -1,0 +1,33 @@
+"""Page-granular storage substrate.
+
+The paper replicates *physical memory modifications* at page granularity:
+the unit of concurrency control, replication and migration is the memory
+page.  This package provides:
+
+* :class:`Page` / :class:`PageStore` — slotted row pages and their container,
+* :class:`PageOp` and friends — the per-page modification encodings that
+  make up write-sets, redo logs and migration payloads,
+* :class:`PageCache` — an LRU model of which pages are memory-resident on a
+  node (drives the buffer-cache warm-up effects in Figures 4 and 7–9),
+* :class:`FuzzyCheckpointer` / :class:`StableStore` — the non-quiescent
+  checkpoint used to bound data-migration work when stale nodes rejoin.
+"""
+
+from repro.storage.page import Page, PageStore, ROWS_PER_PAGE
+from repro.storage.ops import OpKind, PageOp, apply_op, encoded_size
+from repro.storage.cache import PageCache
+from repro.storage.checkpoint import FuzzyCheckpointer, PageImage, StableStore
+
+__all__ = [
+    "Page",
+    "PageStore",
+    "ROWS_PER_PAGE",
+    "PageOp",
+    "OpKind",
+    "apply_op",
+    "encoded_size",
+    "PageCache",
+    "StableStore",
+    "PageImage",
+    "FuzzyCheckpointer",
+]

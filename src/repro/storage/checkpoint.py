@@ -1,0 +1,172 @@
+"""Fuzzy checkpointing to per-node stable storage.
+
+Each slave periodically walks its pages and persists ``(page image,
+version)`` pairs; a flush of one page with its version is atomic, but the
+checkpoint as a whole is *fuzzy*: it needs no quiescence and different
+pages may be captured at different versions.  That is safe precisely
+because Dynamic Multiversioning already tolerates pages at heterogeneous
+versions — a recovering node asks a support slave only for pages *newer*
+than its checkpointed versions.
+
+``StableStore`` stands in for the node's local disk: it survives the loss
+of the node's in-memory state (our failure injection wipes the
+:class:`~repro.storage.page.PageStore` but keeps the stable store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.counters import Counters
+from repro.common.errors import SchemaError
+from repro.common.ids import PageId
+from repro.storage.page import Page, PageStore
+
+
+@dataclass
+class PageImage:
+    """An atomically flushed copy of one page plus its version."""
+
+    page_id: PageId
+    version: int
+    page: Page  # snapshot, never aliased with the live page
+
+
+class StableStore:
+    """Per-node durable page-image store (local-disk stand-in)."""
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self._images: Dict[PageId, PageImage] = {}
+        self.counters = counters if counters is not None else Counters()
+        self.flushes = 0
+
+    def flush_page(self, page: Page) -> None:
+        """Atomically persist one page image with its current version."""
+        snapshot = page.snapshot()
+        self._images[page.page_id] = PageImage(page.page_id, snapshot.version, snapshot)
+        self.flushes += 1
+        self.counters.add("checkpoint.pages_flushed")
+        self.counters.add("checkpoint.bytes", snapshot.byte_size())
+
+    def load(self, page_id: PageId) -> Optional[PageImage]:
+        return self._images.get(page_id)
+
+    def version_map(self) -> Dict[PageId, int]:
+        """Per-page checkpointed versions — the recovery handshake payload."""
+        return {pid: image.version for pid, image in self._images.items()}
+
+    def restore_into(self, store: PageStore) -> int:
+        """Rebuild a page store from the checkpoint (node restart path)."""
+        count = 0
+        for image in sorted(self._images.values(), key=lambda i: i.page_id):
+            page = store.get_or_allocate(image.page_id)
+            page.load_from(image.page)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    # -- file persistence (embedded-library durability) ---------------------------
+    def save_to(self, path: str) -> int:
+        """Persist every checkpointed page image to ``path`` (JSON lines).
+
+        The write is atomic: a temp file is renamed over the target, so a
+        crash mid-save leaves the previous checkpoint intact.  Returns the
+        number of pages written.
+        """
+        temp = f"{path}.tmp"
+        with open(temp, "w", encoding="utf-8") as fh:
+            for image in sorted(self._images.values(), key=lambda i: i.page_id):
+                record = {
+                    "table": image.page_id.table,
+                    "number": image.page_id.number,
+                    "version": image.version,
+                    "capacity": image.page.capacity,
+                    "slots": [list(r) if r is not None else None for r in image.page.slots],
+                }
+                fh.write(json.dumps(record))
+                fh.write("\n")
+        os.replace(temp, path)
+        return len(self._images)
+
+    @classmethod
+    def load_from(cls, path: str, counters: Optional[Counters] = None) -> "StableStore":
+        """Rebuild a stable store from a :meth:`save_to` file."""
+        store = cls(counters)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    page_id = PageId(record["table"], record["number"])
+                    page = Page(page_id, capacity=record["capacity"], version=record["version"])
+                    for slot, row in enumerate(record["slots"]):
+                        if row is not None:
+                            page.put(slot, tuple(row))
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise SchemaError(
+                        f"corrupt checkpoint file {path} at line {line_no}: {exc}"
+                    ) from exc
+                store._images[page_id] = PageImage(page_id, page.version, page)
+        return store
+
+
+class FuzzyCheckpointer:
+    """Walks a page store in rounds, flushing dirty-committed pages.
+
+    ``dirty_filter`` lets the caller exclude pages with uncommitted
+    modifications (the paper excludes written-but-not-committed pages);
+    the engine passes a predicate backed by its lock table.
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        stable: StableStore,
+        pages_per_round: int = 0,
+    ) -> None:
+        self.store = store
+        self.stable = stable
+        self.pages_per_round = pages_per_round  # 0 means "all pages each round"
+        self._cursor: List[PageId] = []
+
+    def checkpoint_round(self, skip_page) -> Tuple[int, int]:
+        """Flush the next batch of pages.
+
+        ``skip_page(page)`` returns True for pages that must not be flushed
+        (uncommitted data).  Returns ``(flushed, skipped)``.
+        """
+        if not self._cursor:
+            self._cursor = [page.page_id for page in self.store.all_pages()]
+        batch_size = self.pages_per_round or len(self._cursor)
+        batch, self._cursor = self._cursor[:batch_size], self._cursor[batch_size:]
+        flushed = skipped = 0
+        for page_id in batch:
+            if not self.store.contains(page_id):
+                continue
+            page = self.store.get(page_id)
+            if skip_page(page):
+                skipped += 1
+                continue
+            previous = self.stable.load(page_id)
+            if previous is not None and previous.version == page.version:
+                continue  # unchanged since last checkpoint
+            self.stable.flush_page(page)
+            flushed += 1
+        return flushed, skipped
+
+    def full_checkpoint(self, skip_page) -> int:
+        """Flush every eligible page once; returns pages flushed."""
+        self._cursor = []
+        total = 0
+        while True:
+            flushed, _skipped = self.checkpoint_round(skip_page)
+            total += flushed
+            if not self._cursor:
+                return total

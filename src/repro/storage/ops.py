@@ -1,0 +1,92 @@
+"""Per-page physical modification encodings.
+
+A :class:`PageOp` describes one slot-level change to one page — the unit
+the master's redo log, the replicated write-sets and the slave's pending
+modification queues are all made of.  Applying the same ordered sequence of
+ops to the same starting page image is deterministic, which is what makes
+lazy per-page application on slaves equivalent to eager application.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.common.errors import SchemaError
+from repro.common.ids import PageId
+from repro.storage.page import Page, Row, _field_size
+
+
+class OpKind(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class PageOp:
+    """One slot-level modification of one page.
+
+    ``before`` carries the prior row image for UPDATE/DELETE ops.  Slaves
+    need it to maintain their version-aware indexes eagerly while the page
+    itself is applied lazily (they cannot read the pre-image from a page
+    that may still have earlier pending ops queued).
+    """
+
+    page_id: PageId
+    kind: OpKind
+    slot: int
+    row: Optional[Row] = None  # new row image; None for DELETE
+    before: Optional[Row] = None  # prior row image; None for INSERT
+
+    def inverse(self, before: Optional[Row]) -> "PageOp":
+        """The undo record for this op given the slot's prior contents."""
+        if self.kind is OpKind.INSERT:
+            return PageOp(self.page_id, OpKind.DELETE, self.slot, None)
+        if self.kind is OpKind.DELETE:
+            return PageOp(self.page_id, OpKind.INSERT, self.slot, before)
+        return PageOp(self.page_id, OpKind.UPDATE, self.slot, before)
+
+
+def apply_op(page: Page, op: PageOp) -> None:
+    """Apply one modification to a page image (does not touch versions)."""
+    if op.page_id != page.page_id:
+        raise SchemaError(f"op for {op.page_id} applied to {page.page_id}")
+    if op.kind is OpKind.DELETE:
+        page.put(op.slot, None)
+    else:
+        if op.row is None:
+            raise SchemaError(f"{op.kind.value} op without a row image")
+        page.put(op.slot, op.row)
+
+
+def apply_ops(page: Page, ops: Iterable[PageOp]) -> int:
+    """Apply an ordered batch of ops; returns how many were applied."""
+    count = 0
+    for op in ops:
+        apply_op(page, op)
+        count += 1
+    return count
+
+
+def encoded_size(op: PageOp) -> int:
+    """Approximate wire size of one op in bytes (for network accounting)."""
+    base = 24  # page id, kind, slot, framing
+    if op.row is not None:
+        base += sum(_field_size(field) for field in op.row)
+    if op.before is not None:
+        base += sum(_field_size(field) for field in op.before)
+    return base
+
+
+def ops_size(ops: Iterable[PageOp]) -> int:
+    return sum(encoded_size(op) for op in ops)
+
+
+def touched_pages(ops: Iterable[PageOp]) -> Tuple[PageId, ...]:
+    """Distinct pages touched, in first-touch order."""
+    seen = {}
+    for op in ops:
+        seen.setdefault(op.page_id, None)
+    return tuple(seen)

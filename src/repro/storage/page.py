@@ -1,0 +1,170 @@
+"""Slotted row pages and the per-node page container.
+
+Rows are immutable tuples; a page owns a fixed number of row slots.  Every
+page carries ``version`` — the value of its table's entry in the database
+version vector (``DBVersion``) at the time of the last modification applied
+to the page.  Dynamic Multiversioning's lazy snapshot materialisation and
+its version-aware page migration both key off this single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import SchemaError
+from repro.common.ids import PageId
+
+#: Default number of row slots per page.  The paper's pages are fixed-size
+#: memory pages; 64 rows/page keeps page counts realistic at our scale.
+ROWS_PER_PAGE = 64
+
+Row = Tuple
+
+
+class Page:
+    """A fixed-capacity slotted page holding rows of one table."""
+
+    __slots__ = ("page_id", "capacity", "slots", "version", "live_rows")
+
+    def __init__(self, page_id: PageId, capacity: int = ROWS_PER_PAGE, version: int = 0) -> None:
+        self.page_id = page_id
+        self.capacity = capacity
+        self.slots: List[Optional[Row]] = [None] * capacity
+        self.version = version
+        self.live_rows = 0
+
+    # -- slot accessors ------------------------------------------------------
+    def get(self, slot: int) -> Optional[Row]:
+        return self.slots[slot]
+
+    def put(self, slot: int, row: Optional[Row]) -> None:
+        """Set a slot's contents, maintaining the live-row count."""
+        before = self.slots[slot]
+        if before is None and row is not None:
+            self.live_rows += 1
+        elif before is not None and row is None:
+            self.live_rows -= 1
+        self.slots[slot] = row
+
+    def first_free_slot(self) -> Optional[int]:
+        if self.live_rows >= self.capacity:
+            return None
+        for index, row in enumerate(self.slots):
+            if row is None:
+                return index
+        return None
+
+    def iter_live(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(slot, row)`` for every occupied slot."""
+        for index, row in enumerate(self.slots):
+            if row is not None:
+                yield index, row
+
+    @property
+    def full(self) -> bool:
+        return self.live_rows >= self.capacity
+
+    # -- whole-page operations (migration / checkpoint) -----------------------
+    def snapshot(self) -> "Page":
+        """Deep-enough copy: rows are immutable tuples so slot copy suffices."""
+        copy = Page(self.page_id, self.capacity, self.version)
+        copy.slots = list(self.slots)
+        copy.live_rows = self.live_rows
+        return copy
+
+    def load_from(self, other: "Page") -> None:
+        """Overwrite this page's contents with another image of it."""
+        if other.page_id != self.page_id:
+            raise SchemaError(f"page image mismatch: {other.page_id} into {self.page_id}")
+        self.capacity = other.capacity
+        self.slots = list(other.slots)
+        self.version = other.version
+        self.live_rows = other.live_rows
+
+    def byte_size(self) -> int:
+        """Approximate wire size of the page (for network cost accounting)."""
+        total = 16  # header
+        for row in self.slots:
+            if row is not None:
+                total += 8 + sum(_field_size(field) for field in row)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page({self.page_id}, v{self.version}, {self.live_rows}/{self.capacity})"
+
+
+def _field_size(value: object) -> int:
+    if isinstance(value, str):
+        return len(value) + 1
+    if isinstance(value, float):
+        return 8
+    if value is None:
+        return 1
+    return 8  # ints and everything else
+
+
+class PageStore:
+    """All pages of one node, indexed by :class:`PageId`.
+
+    One store per database replica.  Tables allocate pages through the
+    store, so page numbering is dense per table, which the migration
+    protocol relies on when comparing per-page versions.
+    """
+
+    def __init__(self, rows_per_page: int = ROWS_PER_PAGE) -> None:
+        self.rows_per_page = rows_per_page
+        self._pages: Dict[PageId, Page] = {}
+        self._per_table: Dict[str, List[Page]] = {}
+
+    def allocate(self, table: str) -> Page:
+        """Create and register the next page of ``table``."""
+        pages = self._per_table.setdefault(table, [])
+        page = Page(PageId(table, len(pages)), self.rows_per_page)
+        pages.append(page)
+        self._pages[page.page_id] = page
+        return page
+
+    def get(self, page_id: PageId) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise SchemaError(f"no such page: {page_id}") from None
+
+    def get_or_allocate(self, page_id: PageId) -> Page:
+        """Fetch a page, allocating (densely) up to it if missing.
+
+        Replicas applying write-sets may see operations for pages their
+        local table has not grown yet; allocation is deterministic so the
+        same page numbers exist on every replica.
+        """
+        while page_id not in self._pages:
+            self.allocate(page_id.table)
+        return self._pages[page_id]
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self._pages
+
+    def pages_of(self, table: str) -> List[Page]:
+        return self._per_table.get(table, [])
+
+    def tables(self) -> List[str]:
+        return sorted(self._per_table)
+
+    def all_pages(self) -> Iterator[Page]:
+        for table in sorted(self._per_table):
+            yield from self._per_table[table]
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def version_map(self) -> Dict[PageId, int]:
+        """Current ``page -> version`` map (the migration handshake payload)."""
+        return {page_id: page.version for page_id, page in self._pages.items()}
+
+    def total_bytes(self) -> int:
+        return sum(page.byte_size() for page in self._pages.values())
+
+    def clear(self) -> None:
+        """Drop all pages (models a node whose memory contents were lost)."""
+        self._pages.clear()
+        self._per_table.clear()

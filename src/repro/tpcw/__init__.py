@@ -1,0 +1,37 @@
+"""TPC-W: the industry-standard e-commerce benchmark the paper evaluates.
+
+An online bookstore: schema, a scalable deterministic data generator, the
+fourteen web interactions (as SQL-issuing generator functions independent
+of any transport), the three workload mixes, and the emulated-browser
+session logic.
+
+Note on tables: the paper's text lists eight tables, but its update
+fractions (5 % / 20 % / 50 %) match the standard TPC-W classification in
+which shopping-cart interactions write to the database, so we include the
+two standard cart tables (``shopping_cart``, ``shopping_cart_line``) as
+well — see DESIGN.md.
+"""
+
+from repro.tpcw.schema import TPCW_SCHEMAS, TpcwScale, UPDATE_TEMPLATES, tpcw_conflict_map
+from repro.tpcw.datagen import TpcwDataGenerator
+from repro.tpcw.mixes import MIXES, Mix, UPDATE_INTERACTIONS
+from repro.tpcw.connection import Connection, Immediate, run_sync
+from repro.tpcw.interactions import INTERACTIONS, InteractionContext
+from repro.tpcw.session import EmulatedBrowser
+
+__all__ = [
+    "TPCW_SCHEMAS",
+    "TpcwScale",
+    "UPDATE_TEMPLATES",
+    "tpcw_conflict_map",
+    "TpcwDataGenerator",
+    "MIXES",
+    "Mix",
+    "UPDATE_INTERACTIONS",
+    "Connection",
+    "Immediate",
+    "run_sync",
+    "INTERACTIONS",
+    "InteractionContext",
+    "EmulatedBrowser",
+]

@@ -1,0 +1,439 @@
+"""The fourteen TPC-W web interactions, written against the effect protocol.
+
+Each interaction is a generator function ``fn(conn, ctx)`` that yields
+connection effects (see :mod:`repro.tpcw.connection`) and returns a small
+summary dict.  The SQL follows the standard TPC-W implementations (the
+complex read-only interactions — BestSellers, NewProducts, SearchResults —
+contain the joins the paper calls out).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.rng import RngStream
+from repro.tpcw.datagen import TpcwDataGenerator
+from repro.tpcw.schema import SUBJECTS, TpcwScale
+
+
+class SharedSequences:
+    """App-server-side id sequences (orders, customers, addresses, carts).
+
+    Shared by every emulated browser of one experiment, so generated ids
+    never collide — TPC-W front-ends draw these from a sequence service.
+    """
+
+    def __init__(self, scale: TpcwScale) -> None:
+        self._order_ids = itertools.count(scale.num_orders + 1)
+        self._customer_ids = itertools.count(scale.num_customers + 1)
+        self._address_ids = itertools.count(scale.num_addresses + 1)
+        self._cart_ids = itertools.count(1)
+
+    def next_order_id(self) -> int:
+        return next(self._order_ids)
+
+    def next_customer_id(self) -> int:
+        return next(self._customer_ids)
+
+    def next_address_id(self) -> int:
+        return next(self._address_ids)
+
+    def next_cart_id(self) -> int:
+        return next(self._cart_ids)
+
+
+@dataclass
+class InteractionContext:
+    """Per-browser session state passed to every interaction."""
+
+    rng: RngStream
+    scale: TpcwScale
+    sequences: SharedSequences
+    now: Callable[[], float] = lambda: 0.0
+    customer_id: int = 1
+    cart_id: Optional[int] = None
+    cart_created: bool = False
+    #: The session's view of its cart {item_id: qty}; may lag the database
+    #: after retried commits, which the upsert write pattern tolerates.
+    cart_contents: Dict[int, int] = field(default_factory=dict)
+    last_order_id: Optional[int] = None
+
+    def random_item(self) -> int:
+        """Zipf-skewed item pick: the hot working set the paper relies on."""
+        return self.rng.zipf_index(self.scale.num_items, skew=0.8) + 1
+
+    def random_subject(self) -> str:
+        return self.rng.choice(SUBJECTS)
+
+    def ensure_cart_id(self) -> int:
+        if self.cart_id is None:
+            self.cart_id = self.sequences.next_cart_id()
+        return self.cart_id
+
+
+# -- SQL text (module-level constants so plan caches hit) --------------------------
+GET_NAME = "SELECT c_fname, c_lname FROM customer WHERE c_id = ?"
+GET_CUSTOMER = (
+    "SELECT * FROM customer, address, country "
+    "WHERE customer.c_addr_id = address.addr_id "
+    "AND address.addr_co_id = country.co_id AND customer.c_uname = ?"
+)
+GET_BOOK = (
+    "SELECT * FROM item, author WHERE item.i_a_id = author.a_id AND item.i_id = ?"
+)
+GET_RELATED = (
+    "SELECT i_related1, i_related2, i_related3, i_related4, i_related5 "
+    "FROM item WHERE i_id = ?"
+)
+NEW_PRODUCTS = (
+    "SELECT item.i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND item.i_subject = ? "
+    "ORDER BY item.i_pub_date DESC, item.i_title LIMIT 50"
+)
+MAX_ORDER_ID = "SELECT MAX(o_id) FROM orders"
+BEST_SELLERS = (
+    "SELECT item.i_id, i_title, a_fname, a_lname, SUM(ol_qty) AS val "
+    "FROM item, author, order_line "
+    "WHERE item.i_id = order_line.ol_i_id AND item.i_a_id = author.a_id "
+    "AND order_line.ol_o_id > ? AND item.i_subject = ? "
+    "GROUP BY item.i_id, i_title, a_fname, a_lname "
+    "ORDER BY val DESC LIMIT 50"
+)
+SEARCH_BY_AUTHOR = (
+    "SELECT item.i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND author.a_lname LIKE ? "
+    "ORDER BY i_title LIMIT 50"
+)
+SEARCH_BY_TITLE = (
+    "SELECT item.i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND item.i_title LIKE ? "
+    "ORDER BY i_title LIMIT 50"
+)
+SEARCH_BY_SUBJECT = (
+    "SELECT item.i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND item.i_subject = ? "
+    "ORDER BY i_title LIMIT 50"
+)
+GET_CART = "SELECT sc_id FROM shopping_cart WHERE sc_id = ?"
+CREATE_CART = "INSERT INTO shopping_cart (sc_id, sc_time, sc_total) VALUES (?, ?, 0.0)"
+GET_CART_LINE = (
+    "SELECT scl_qty FROM shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?"
+)
+ADD_CART_LINE = (
+    "INSERT INTO shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)"
+)
+UPDATE_CART_LINE = (
+    "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_sc_id = ? AND scl_i_id = ?"
+)
+REFRESH_CART = "UPDATE shopping_cart SET sc_time = ?, sc_total = sc_total + ? WHERE sc_id = ?"
+GET_CART_LINES = (
+    "SELECT scl_i_id, scl_qty, i_cost, i_title FROM shopping_cart_line, item "
+    "WHERE scl_i_id = item.i_id AND scl_sc_id = ?"
+)
+INSERT_CUSTOMER = (
+    "INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, c_addr_id, "
+    "c_phone, c_email, c_since, c_last_login, c_login, c_expiration, c_discount, "
+    "c_balance, c_ytd_pmt, c_birthdate, c_data) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0.0, 0.0, ?, ?)"
+)
+INSERT_ADDRESS = (
+    "INSERT INTO address (addr_id, addr_street1, addr_street2, addr_city, "
+    "addr_state, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?, ?, ?)"
+)
+GET_COUNTRY_BY_NAME = "SELECT co_id FROM country WHERE co_name = ?"
+GET_ADDRESS = "SELECT addr_street1, addr_city, addr_co_id FROM address WHERE addr_id = ?"
+INSERT_ORDER = (
+    "INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax, o_total, "
+    "o_ship_type, o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 'PENDING')"
+)
+INSERT_ORDER_LINE = (
+    "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount, ol_comments) "
+    "VALUES (?, ?, ?, ?, ?, '')"
+)
+UPDATE_STOCK = "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?"
+RESTOCK = "UPDATE item SET i_stock = i_stock - ? + 21 WHERE i_id = ?"
+INSERT_CC_XACT = (
+    "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expiry, "
+    "cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"
+)
+CLEAR_CART_LINES = "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?"
+GET_PASSWORD = "SELECT c_passwd FROM customer WHERE c_uname = ?"
+MOST_RECENT_ORDER = (
+    "SELECT o_id, o_date, o_total, o_status FROM orders "
+    "WHERE o_c_id = ? ORDER BY o_date DESC, o_id DESC LIMIT 1"
+)
+ORDER_LINES_OF = (
+    "SELECT ol_i_id, i_title, ol_qty, ol_discount FROM order_line, item "
+    "WHERE ol_i_id = item.i_id AND ol_o_id = ?"
+)
+ADMIN_UPDATE_ITEM = (
+    "UPDATE item SET i_cost = ?, i_image = ?, i_thumbnail = ?, i_pub_date = ? "
+    "WHERE i_id = ?"
+)
+ADMIN_RELATED_CUSTOMERS = (
+    "SELECT DISTINCT o_c_id FROM orders, order_line "
+    "WHERE orders.o_id = order_line.ol_o_id AND order_line.ol_i_id = ? LIMIT 20"
+)
+ADMIN_UPDATE_RELATED = (
+    "UPDATE item SET i_related1 = ?, i_related2 = ?, i_related3 = ?, "
+    "i_related4 = ?, i_related5 = ? WHERE i_id = ?"
+)
+
+READ_TABLES = ["customer", "address", "country", "orders", "order_line",
+               "cc_xacts", "item", "author", "shopping_cart", "shopping_cart_line"]
+
+
+# -- read-only interactions ------------------------------------------------------------
+def home(conn, ctx: InteractionContext):
+    """Home page: greet the customer, show promotional (related) items."""
+    yield conn.begin_read(["customer", "item"])
+    name = yield conn.query(GET_NAME, (ctx.customer_id,))
+    related = yield conn.query(GET_RELATED, (ctx.random_item(),))
+    yield conn.commit()
+    return {"interaction": "home", "rows": len(name) + len(related)}
+
+
+def new_products(conn, ctx: InteractionContext):
+    yield conn.begin_read(["item", "author"])
+    result = yield conn.query(NEW_PRODUCTS, (ctx.random_subject(),))
+    yield conn.commit()
+    return {"interaction": "new_products", "rows": len(result)}
+
+
+def best_sellers(conn, ctx: InteractionContext):
+    yield conn.begin_read(["item", "author", "orders", "order_line"])
+    newest = yield conn.query(MAX_ORDER_ID)
+    threshold = max(0, (newest.scalar() or 0) - ctx.scale.bestseller_depth)
+    result = yield conn.query(BEST_SELLERS, (threshold, ctx.random_subject()))
+    yield conn.commit()
+    return {"interaction": "best_sellers", "rows": len(result)}
+
+
+def product_detail(conn, ctx: InteractionContext):
+    yield conn.begin_read(["item", "author"])
+    result = yield conn.query(GET_BOOK, (ctx.random_item(),))
+    yield conn.commit()
+    return {"interaction": "product_detail", "rows": len(result)}
+
+
+def search_request(conn, ctx: InteractionContext):
+    """The search form page: light — promotional items only."""
+    yield conn.begin_read(["item"])
+    result = yield conn.query(GET_RELATED, (ctx.random_item(),))
+    yield conn.commit()
+    return {"interaction": "search_request", "rows": len(result)}
+
+
+def search_results(conn, ctx: InteractionContext):
+    yield conn.begin_read(["item", "author"])
+    kind = ctx.rng.choice(["author", "title", "subject"])
+    if kind == "author":
+        pattern = f"LNAME{ctx.rng.randint(0, max(0, ctx.scale.num_authors // 4 - 1)):05d}%"
+        result = yield conn.query(SEARCH_BY_AUTHOR, (pattern,))
+    elif kind == "title":
+        result = yield conn.query(SEARCH_BY_TITLE, (f"BOOK{ctx.rng.randint(0, 9)}%",))
+    else:
+        result = yield conn.query(SEARCH_BY_SUBJECT, (ctx.random_subject(),))
+    yield conn.commit()
+    return {"interaction": "search_results", "kind": kind, "rows": len(result)}
+
+
+def order_inquiry(conn, ctx: InteractionContext):
+    yield conn.begin_read(["customer"])
+    result = yield conn.query(GET_PASSWORD, (TpcwDataGenerator.uname_of(ctx.customer_id),))
+    yield conn.commit()
+    return {"interaction": "order_inquiry", "rows": len(result)}
+
+
+def order_display(conn, ctx: InteractionContext):
+    yield conn.begin_read(["customer", "orders", "order_line", "item"])
+    order = yield conn.query(MOST_RECENT_ORDER, (ctx.customer_id,))
+    lines = []
+    if order.rows:
+        lines = yield conn.query(ORDER_LINES_OF, (order.rows[0][0],))
+    yield conn.commit()
+    return {"interaction": "order_display", "rows": len(order) + len(lines)}
+
+
+def admin_request(conn, ctx: InteractionContext):
+    yield conn.begin_read(["item", "author"])
+    result = yield conn.query(GET_BOOK, (ctx.random_item(),))
+    yield conn.commit()
+    return {"interaction": "admin_request", "rows": len(result)}
+
+
+# -- update interactions ------------------------------------------------------------------
+def shopping_cart(conn, ctx: InteractionContext):
+    """Add one or more items to the session's cart (creates it on demand).
+
+    Uses the upsert pattern (UPDATE, INSERT on zero rows) so the write lock
+    is taken up front — no S->X upgrade window — and the statement stays
+    correct even if the session's view of the cart is stale after a retried
+    commit.
+    """
+    cart_id = ctx.ensure_cart_id()
+    yield conn.begin_update(["shopping_cart", "shopping_cart_line"])
+    if not ctx.cart_created:
+        existing = yield conn.query(GET_CART, (cart_id,))
+        if not existing.rows:
+            yield conn.query(CREATE_CART, (cart_id, ctx.now()))
+        # ctx.cart_created is only set after the commit succeeds — a retry
+        # of an aborted attempt must re-create the cart row.
+    staged = dict(ctx.cart_contents)
+    added = 0
+    for _ in range(ctx.rng.randint(1, 3)):
+        item_id = ctx.random_item()
+        updated = yield conn.query(
+            UPDATE_CART_LINE, (staged.get(item_id, 0) + 1, cart_id, item_id)
+        )
+        if updated.rowcount == 0:
+            yield conn.query(ADD_CART_LINE, (cart_id, item_id, 1))
+        staged[item_id] = staged.get(item_id, 0) + 1
+        added += 1
+    yield conn.query(REFRESH_CART, (ctx.now(), float(added), cart_id))
+    yield conn.commit()
+    ctx.cart_created = True
+    ctx.cart_contents = staged
+    return {"interaction": "shopping_cart", "added": added}
+
+
+def customer_registration(conn, ctx: InteractionContext):
+    """Register a new customer (insert address + customer)."""
+    c_id = ctx.sequences.next_customer_id()
+    addr_id = ctx.sequences.next_address_id()
+    yield conn.begin_update(["customer", "address"])
+    country = yield conn.query(
+        GET_COUNTRY_BY_NAME, (f"COUNTRY{ctx.rng.randint(1, 92):03d}",)
+    )
+    co_id = country.scalar() or 1
+    yield conn.query(
+        INSERT_ADDRESS,
+        (addr_id, f"ST{c_id}", "APT 1", "CITY", "ST", f"{10000 + c_id % 90000}", co_id),
+    )
+    now = ctx.now()
+    uname = TpcwDataGenerator.uname_of(c_id)
+    yield conn.query(
+        INSERT_CUSTOMER,
+        (
+            c_id, uname, uname.lower(), f"F{c_id}", f"L{c_id}", addr_id,
+            "5551234567", f"user{c_id}@example.com", now, now, now,
+            now + 7200.0, 0.1, now - 30 * 365 * 86400.0, "generated customer",
+        ),
+    )
+    yield conn.commit()
+    ctx.customer_id = c_id
+    return {"interaction": "customer_registration", "customer": c_id}
+
+
+def buy_request(conn, ctx: InteractionContext):
+    """Checkout page: show the cart, refresh totals."""
+    cart_id = ctx.ensure_cart_id()
+    yield conn.begin_update(["shopping_cart", "shopping_cart_line"])
+    if not ctx.cart_created:
+        existing = yield conn.query(GET_CART, (cart_id,))
+        if not existing.rows:
+            yield conn.query(CREATE_CART, (cart_id, ctx.now()))
+        # ctx.cart_created is only set after the commit succeeds — a retry
+        # of an aborted attempt must re-create the cart row.
+    lines = yield conn.query(GET_CART_LINES, (cart_id,))
+    if not lines.rows:
+        yield conn.query(ADD_CART_LINE, (cart_id, ctx.random_item(), 1))
+        lines = yield conn.query(GET_CART_LINES, (cart_id,))
+    subtotal = sum(row[1] * row[2] for row in lines.rows)
+    yield conn.query(REFRESH_CART, (ctx.now(), subtotal, cart_id))
+    yield conn.commit()
+    ctx.cart_created = True
+    return {"interaction": "buy_request", "lines": len(lines)}
+
+
+def buy_confirm(conn, ctx: InteractionContext):
+    """Place the order: orders + order lines + payment + stock updates."""
+    cart_id = ctx.ensure_cart_id()
+    yield conn.begin_update(
+        ["orders", "order_line", "cc_xacts", "item", "shopping_cart", "shopping_cart_line"]
+    )
+    if not ctx.cart_created:
+        existing = yield conn.query(GET_CART, (cart_id,))
+        if not existing.rows:
+            yield conn.query(CREATE_CART, (cart_id, ctx.now()))
+        # ctx.cart_created is only set after the commit succeeds — a retry
+        # of an aborted attempt must re-create the cart row.
+    lines = yield conn.query(GET_CART_LINES, (cart_id,))
+    if not lines.rows:
+        yield conn.query(ADD_CART_LINE, (cart_id, ctx.random_item(), 1))
+        lines = yield conn.query(GET_CART_LINES, (cart_id,))
+    o_id = ctx.sequences.next_order_id()
+    now = ctx.now()
+    subtotal = sum(row[1] * row[2] for row in lines.rows)
+    tax = round(subtotal * 0.0825, 2)
+    yield conn.query(
+        INSERT_ORDER,
+        (o_id, ctx.customer_id, now, subtotal, tax, subtotal + tax,
+         "SHIP", now + 86400.0, 1, 1),
+    )
+    for ol_id, (item_id, qty, _cost, _title) in enumerate(lines.rows, start=1):
+        yield conn.query(INSERT_ORDER_LINE, (ol_id, o_id, item_id, qty, 0.0))
+        stock_sql = UPDATE_STOCK if ctx.rng.random() < 0.9 else RESTOCK
+        yield conn.query(stock_sql, (qty, item_id))
+    yield conn.query(
+        INSERT_CC_XACT,
+        (o_id, "VISA", "4111111111111111", f"CUST{ctx.customer_id}",
+         now + 365 * 86400.0, "AUTH", subtotal + tax, now, 1),
+    )
+    yield conn.query(CLEAR_CART_LINES, (cart_id,))
+    yield conn.commit()
+    ctx.cart_created = True
+    ctx.cart_contents = {}
+    ctx.last_order_id = o_id
+    return {"interaction": "buy_confirm", "order": o_id, "lines": len(lines)}
+
+
+def admin_confirm(conn, ctx: InteractionContext):
+    """Admin item update: price/image change + related-items recompute."""
+    item_id = ctx.random_item()
+    yield conn.begin_update(["item"])
+    book = yield conn.query(GET_BOOK, (item_id,))
+    cost = (book.rows[0][15] if book.rows else 10.0) or 10.0
+    yield conn.query(
+        ADMIN_UPDATE_ITEM,
+        (round(cost * 1.1, 2), f"img/full/{item_id}.gif",
+         f"img/thumb/{item_id}.gif", ctx.now(), item_id),
+    )
+    customers = yield conn.query(ADMIN_RELATED_CUSTOMERS, (item_id,))
+    related: List[int] = []
+    if customers.rows:
+        ids = ", ".join(str(int(r[0])) for r in customers.rows[:10])
+        top = yield conn.query(
+            "SELECT ol_i_id, SUM(ol_qty) AS val FROM orders, order_line "
+            "WHERE orders.o_id = order_line.ol_o_id AND orders.o_c_id IN (" + ids + ") "
+            "GROUP BY ol_i_id ORDER BY val DESC LIMIT 5"
+        )
+        related = [int(r[0]) for r in top.rows]
+    while len(related) < 5:
+        related.append(ctx.random_item())
+    yield conn.query(ADMIN_UPDATE_RELATED, (*related[:5], item_id))
+    yield conn.commit()
+    return {"interaction": "admin_confirm", "item": item_id}
+
+
+#: name -> (generator function, is_update)
+INTERACTIONS: Dict[str, Callable] = {
+    "home": home,
+    "new_products": new_products,
+    "best_sellers": best_sellers,
+    "product_detail": product_detail,
+    "search_request": search_request,
+    "search_results": search_results,
+    "shopping_cart": shopping_cart,
+    "customer_registration": customer_registration,
+    "buy_request": buy_request,
+    "buy_confirm": buy_confirm,
+    "order_inquiry": order_inquiry,
+    "order_display": order_display,
+    "admin_request": admin_request,
+    "admin_confirm": admin_confirm,
+}

@@ -1,0 +1,129 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.calibration import BENCH_SCALE, bench_cost
+from repro.bench.harness import (
+    FailoverResult,
+    PeakResult,
+    ThroughputRun,
+    cached_rows,
+    find_peak,
+    total_pages,
+)
+from repro.bench.report import format_series, format_table
+from repro.sim.stats import TimeSeries
+
+
+class TestCalibration:
+    def test_bench_cost_overrides(self):
+        cost = bench_cost(page_fault_cost=0.5)
+        assert cost.page_fault_cost == 0.5
+        assert cost.cores_per_node == 2
+
+    def test_net_delay_and_rtt(self):
+        cost = bench_cost(net_latency=0.001, net_bandwidth=1e6)
+        assert cost.net_delay(1000) == pytest.approx(0.002)
+        assert cost.rtt(0) == pytest.approx(0.002)
+
+
+class TestCachedRows:
+    def test_cached_and_deterministic(self):
+        rows1 = cached_rows(BENCH_SCALE)
+        rows2 = cached_rows(BENCH_SCALE)
+        assert rows1 is rows2  # same object: cache hit
+        tables = [t for t, _r in rows1]
+        assert "item" in tables and "shopping_cart" in tables
+
+    def test_total_pages_positive(self):
+        assert total_pages(BENCH_SCALE) > 100
+
+
+class TestFindPeak:
+    def test_stops_when_flat(self):
+        calls = []
+
+        def runner(clients):
+            calls.append(clients)
+            wips = min(clients, 50)  # saturates at 50
+            return ThroughputRun(clients, wips, 0.1, 0.0, wips * 10)
+
+        result = find_peak("x", runner, [10, 40, 80, 160, 320])
+        assert result.peak_wips == 50
+        # 160 showed no improvement over 80, so 320 is never run.
+        assert calls == [10, 40, 80, 160]
+
+    def test_peak_step(self):
+        def runner(clients):
+            return ThroughputRun(clients, 100 - abs(clients - 50), 0.1, 0.0, 1)
+
+        result = find_peak("x", runner, [25, 50, 75])
+        assert result.peak_step.clients == 50
+
+    def test_empty(self):
+        assert PeakResult("x").peak_wips == 0.0
+        assert PeakResult("x").peak_step is None
+
+
+def synthetic_failover(kill=100.0, baseline=50.0, dip=25.0, recover_at=160.0):
+    series = TimeSeries("wips")
+    for t in range(10, 300, 20):
+        if t < kill:
+            value = baseline
+        elif t < recover_at:
+            value = dip
+        else:
+            value = baseline
+        series.record(float(t), value)
+    return FailoverResult("x", series, TimeSeries("lat"), kill)
+
+
+class TestFailoverResult:
+    def test_mean_before(self):
+        result = synthetic_failover()
+        assert result.mean_before(60.0) == pytest.approx(50.0)
+
+    def test_mean_during(self):
+        result = synthetic_failover()
+        assert result.mean_during(0.0, 50.0) == pytest.approx(25.0)
+
+    def test_recovery_point(self):
+        result = synthetic_failover(kill=100.0, recover_at=160.0)
+        # First post-kill bucket at baseline with a confirming successor.
+        assert result.recovery_point(threshold=0.9) == pytest.approx(70.0)
+
+    def test_recovery_point_never_recovers(self):
+        result = synthetic_failover(recover_at=10_000.0)
+        horizon = result.series.times[-1] - 100.0
+        assert result.recovery_point(threshold=0.9) == pytest.approx(horizon)
+
+    def test_recovery_point_ignores_single_spike(self):
+        series = TimeSeries("wips")
+        values = [50, 50, 50, 50, 50, 10, 52, 9, 11, 50, 50, 50]
+        for i, v in enumerate(values):
+            series.record(10.0 + 20 * i, float(v))
+        result = FailoverResult("x", series, TimeSeries("lat"), 100.0)
+        # The lone 52 at t=130 has a bad successor; recovery is at t=190.
+        assert result.recovery_point(threshold=0.9) == pytest.approx(90.0)
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table("Title", ["alpha", "beta"], [[1, 2], [3, 4]])
+        assert "Title" in out and "-----" in out
+
+    def test_format_series(self):
+        series = TimeSeries("s")
+        series.record(1.0, 5.0)
+        series.record(2.0, 10.0)
+        out = format_series("S", series, width=10)
+        assert "#####" in out and "##########" in out
+
+    def test_format_series_empty(self):
+        assert "Empty" in format_series("Empty", TimeSeries("s"))
+
+    def test_format_series_all_zero(self):
+        series = TimeSeries("s")
+        series.record(1.0, 0.0)
+        out = format_series("Z", series)
+        assert "0.00" in out

@@ -1,0 +1,152 @@
+"""Unit tests for repro.common: errors, ids, RNG streams, counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import (
+    Counters,
+    DeadlockDetected,
+    IdAllocator,
+    PageId,
+    ReproError,
+    RngStream,
+    TransactionAborted,
+    VersionInconsistency,
+    derive_seed,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(TransactionAborted, ReproError)
+        assert issubclass(VersionInconsistency, TransactionAborted)
+        assert issubclass(DeadlockDetected, TransactionAborted)
+
+    def test_abort_reason_default(self):
+        err = TransactionAborted("boom")
+        assert err.reason == "abort"
+
+    def test_version_inconsistency_carries_versions(self):
+        err = VersionInconsistency("stale", required=3, found=7)
+        assert err.reason == "version-inconsistency"
+        assert err.required == 3
+        assert err.found == 7
+
+    def test_deadlock_reason(self):
+        assert DeadlockDetected("victim").reason == "deadlock"
+
+
+class TestIds:
+    def test_allocator_monotonic(self):
+        alloc = IdAllocator()
+        ids = [alloc.next() for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_allocator_custom_start(self):
+        assert IdAllocator(start=100).next() == 100
+
+    def test_page_id_equality_and_ordering(self):
+        a = PageId("item", 1)
+        b = PageId("item", 2)
+        assert a == PageId("item", 1)
+        assert a < b
+        assert PageId("author", 9) < a  # table name orders first
+
+    def test_page_id_hashable(self):
+        assert len({PageId("t", 0), PageId("t", 0), PageId("t", 1)}) == 2
+
+    def test_page_id_str(self):
+        assert str(PageId("orders", 7)) == "orders#7"
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_derive_seed_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_stream_reproducible(self):
+        draws1 = [RngStream(7, "x").random() for _ in range(1)]
+        draws2 = [RngStream(7, "x").random() for _ in range(1)]
+        assert draws1 == draws2
+
+    def test_streams_independent(self):
+        a = RngStream(7, "a")
+        b = RngStream(7, "b")
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_child_stream(self):
+        parent = RngStream(9, "p")
+        child = parent.child("c")
+        assert child.name.endswith("/c")
+        assert 0.0 <= child.random() < 1.0
+
+    def test_expovariate_mean(self):
+        stream = RngStream(3, "exp")
+        draws = [stream.expovariate(5.0) for _ in range(4000)]
+        assert 4.5 < sum(draws) / len(draws) < 5.5
+
+    def test_expovariate_zero_mean(self):
+        assert RngStream(3).expovariate(0.0) == 0.0
+
+    def test_weighted_choice_respects_weights(self):
+        stream = RngStream(11, "w")
+        picks = [stream.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(500)]
+        assert picks.count("a") > 400
+
+    @given(st.integers(min_value=1, max_value=1000), st.integers(min_value=0, max_value=2**30))
+    def test_zipf_index_in_range(self, n, seed):
+        stream = RngStream(seed, "zipf")
+        for _ in range(10):
+            assert 0 <= stream.zipf_index(n) < n
+
+    def test_zipf_skews_low(self):
+        stream = RngStream(13, "zipf")
+        draws = [stream.zipf_index(1000, skew=1.0) for _ in range(2000)]
+        low = sum(1 for d in draws if d < 100)
+        assert low > len(draws) * 0.5  # heavy head
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RngStream(1).zipf_index(0)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("reads")
+        c.add("reads", 2)
+        assert c.get("reads") == 3
+
+    def test_missing_counter_zero(self):
+        assert Counters().get("nope") == 0.0
+
+    def test_snapshot_delta(self):
+        c = Counters()
+        c.add("x", 5)
+        snap = c.snapshot()
+        c.add("x", 2)
+        c.add("y", 1)
+        delta = c.delta_since(snap)
+        assert delta == {"x": 2, "y": 1}
+
+    def test_delta_skips_unchanged(self):
+        c = Counters()
+        c.add("x", 5)
+        assert c.delta_since(c.snapshot()) == {}
+
+    def test_reset(self):
+        c = Counters()
+        c.add("x")
+        c.reset()
+        assert c.get("x") == 0
+
+    def test_iter_sorted(self):
+        c = Counters()
+        c.add("b")
+        c.add("a")
+        assert [k for k, _ in c] == ["a", "b"]

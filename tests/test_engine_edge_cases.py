@@ -1,0 +1,138 @@
+"""Edge-case tests added for failure races found during cluster bring-up."""
+
+import pytest
+
+from repro.common.errors import TransactionAborted
+from repro.engine import Column, HeapEngine, TableSchema, TwoPhaseLocking, TxnMode
+from repro.engine.txn import TxnState
+from repro.sql import SqlExecutor
+
+ITEM = TableSchema(
+    "item",
+    [Column("i_id", "int", nullable=False), Column("i_stock", "int")],
+    primary_key=("i_id",),
+)
+
+
+def make_engine():
+    engine = HeapEngine(controller=TwoPhaseLocking(), rows_per_page=4)
+    engine.create_table(ITEM)
+    engine.bulk_load("item", [{"i_id": i, "i_stock": 10} for i in range(20)])
+    return engine
+
+
+class TestPreparedAbort:
+    def test_prepared_txn_dropped_without_revert(self):
+        """A dying master's prepared txn must not corrupt index state."""
+        engine = make_engine()
+        sql = SqlExecutor(engine)
+        txn = engine.begin(write_intent=["item"])
+        sql.execute(txn, "DELETE FROM item WHERE i_id = 3")
+        engine.prepare_commit(txn)
+        engine.versions.increment(["item"])
+        engine.stamp_commit(txn, {"item": 1})
+        # Node failure: abort_all_active on a PREPARED txn.
+        engine.abort(txn, reason="node-failure")
+        assert txn.state is TxnState.ABORTED
+        assert engine.counters.get("engine.txns_dropped_prepared") == 1
+        # Locks were released; a new transaction can write the same page.
+        txn2 = engine.begin(write_intent=["item"])
+        sql.execute(txn2, "UPDATE item SET i_stock = 1 WHERE i_id = 2")
+        engine.commit(txn2)
+
+    def test_abort_all_active_with_mixed_states(self):
+        engine = make_engine()
+        sql = SqlExecutor(engine)
+        active = engine.begin(write_intent=["item"])
+        sql.execute(active, "UPDATE item SET i_stock = 5 WHERE i_id = 1")
+        prepared = engine.begin(write_intent=["item"])
+        sql.execute(prepared, "UPDATE item SET i_stock = 5 WHERE i_id = 7")
+        engine.prepare_commit(prepared)
+        engine.versions.increment(["item"])
+        engine.stamp_commit(prepared, {"item": 1})
+        assert engine.abort_all_active() == 2
+        # The active txn's change was reverted; the prepared one stands
+        # (its fate is decided by the cluster-level discard protocol).
+        ro = engine.begin(TxnMode.READ_ONLY)
+        assert sql.execute(ro, "SELECT i_stock FROM item WHERE i_id = 1").scalar() == 10
+
+
+class TestInactiveTransactionRaces:
+    def test_touch_after_abort_raises_cleanly(self):
+        """A statement racing with its own abort stops at page access."""
+        engine = make_engine()
+        sql = SqlExecutor(engine)
+        txn = engine.begin(TxnMode.READ_ONLY)
+        engine.abort(txn, reason="reconfiguration")
+        with pytest.raises(TransactionAborted) as err:
+            sql.execute(txn, "SELECT i_stock FROM item WHERE i_id = 1")
+        assert err.value.reason == "txn-inactive"
+
+    def test_double_abort_releases_late_locks(self):
+        """Locks acquired by a racing statement are swept by a second abort."""
+        engine = make_engine()
+        manager = engine.controller.manager
+        txn = engine.begin(write_intent=["item"])
+        page_id = engine.store.pages_of("item")[0].page_id
+        from repro.engine.locks import LockMode
+
+        manager.acquire(txn.txn_id, page_id, LockMode.EXCLUSIVE)
+        engine.abort(txn)
+        # Simulate the race: the statement grabbed another lock after abort.
+        manager.acquire(txn.txn_id, engine.store.pages_of("item")[1].page_id, LockMode.SHARED)
+        engine.abort(txn)  # defensive re-release
+        assert manager.held(txn.txn_id) == set()
+
+
+class TestInsertStriping:
+    def test_concurrent_inserters_use_different_pages(self):
+        engine = make_engine()
+        t1 = engine.begin(write_intent=["item"])
+        t2 = engine.begin(write_intent=["item"])
+        loc1 = engine.table("item").insert_row(t1, {"i_id": 100, "i_stock": 1})
+        # t2 must not block on t1's insert page.
+        loc2 = engine.table("item").insert_row(t2, {"i_id": 101, "i_stock": 1})
+        assert loc1[0] != loc2[0]
+        engine.commit(t1)
+        engine.commit(t2)
+
+    def test_striping_bounded(self):
+        engine = make_engine()
+        table = engine.table("item")
+        txn = engine.begin(write_intent=["item"])
+        for i in range(200, 260):
+            table.insert_row(txn, {"i_id": i, "i_stock": 1})
+        engine.commit(txn)
+        # Pages get filled rather than one page per row.
+        assert engine.store.page_count() < 5 + 60
+
+
+class TestWriteIntent:
+    def test_read_of_intent_table_takes_exclusive(self):
+        engine = make_engine()
+        sql = SqlExecutor(engine)
+        txn = engine.begin(write_intent=["item"])
+        sql.execute(txn, "SELECT i_stock FROM item WHERE i_id = 1")
+        page_id = None
+        for page in engine.store.pages_of("item"):
+            if engine.controller.manager.mode_held(txn.txn_id, page.page_id):
+                page_id = page.page_id
+                break
+        from repro.engine.locks import LockMode
+
+        assert engine.controller.manager.mode_held(txn.txn_id, page_id) is LockMode.EXCLUSIVE
+        engine.commit(txn)
+
+    def test_read_outside_intent_stays_shared(self):
+        engine = make_engine()
+        sql = SqlExecutor(engine)
+        txn = engine.begin(write_intent=[])
+        sql.execute(txn, "SELECT i_stock FROM item WHERE i_id = 1")
+        from repro.engine.locks import LockMode
+
+        modes = {
+            engine.controller.manager.mode_held(txn.txn_id, p.page_id)
+            for p in engine.store.pages_of("item")
+        }
+        assert LockMode.EXCLUSIVE not in modes
+        engine.commit(txn)

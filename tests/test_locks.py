@@ -1,0 +1,211 @@
+"""Unit tests for the lock manager: modes, queues, upgrades, deadlocks."""
+
+import pytest
+
+from repro.common.errors import DeadlockDetected
+from repro.engine.locks import LockManager, LockMode
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+class TestGranting:
+    def test_immediate_grant(self):
+        lm = LockManager()
+        assert lm.acquire(1, "p", X).granted
+
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire(1, "p", S).granted
+        assert lm.acquire(2, "p", S).granted
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        assert not lm.acquire(2, "p", S).granted
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        assert not lm.acquire(2, "p", X).granted
+
+    def test_reentrant_same_mode(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        assert lm.acquire(1, "p", X).granted
+
+    def test_x_holder_may_reacquire_s(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        assert lm.acquire(1, "p", S).granted
+
+    def test_different_resources_independent(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        assert lm.acquire(2, "q", X).granted
+
+
+class TestRelease:
+    def test_release_grants_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        waiting = lm.acquire(2, "p", X)
+        lm.release_all(1)
+        assert waiting.granted
+
+    def test_fifo_order(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        first = lm.acquire(2, "p", X)
+        second = lm.acquire(3, "p", X)
+        lm.release_all(1)
+        assert first.granted and not second.granted
+
+    def test_batch_shared_grant(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        r2 = lm.acquire(2, "p", S)
+        r3 = lm.acquire(3, "p", S)
+        r4 = lm.acquire(4, "p", X)
+        lm.release_all(1)
+        assert r2.granted and r3.granted and not r4.granted
+
+    def test_shared_waits_behind_queued_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        pending_x = lm.acquire(2, "p", X)
+        late_s = lm.acquire(3, "p", S)
+        assert not late_s.granted  # no X starvation
+        lm.release_all(1)
+        assert pending_x.granted and not late_s.granted
+        lm.release_all(2)
+        assert late_s.granted
+
+    def test_release_purges_queued_requests(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        lm.acquire(2, "p", X)
+        lm.release_all(2)  # 2 gives up while queued
+        waiting = lm.acquire(3, "p", X)
+        lm.release_all(1)
+        assert waiting.granted
+
+    def test_grant_callback(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        waiting = lm.acquire(2, "p", X)
+        fired = []
+        waiting.on_grant(lambda r: fired.append(r.txn_id))
+        lm.release_all(1)
+        assert fired == [2]
+
+    def test_callback_on_already_granted(self):
+        lm = LockManager()
+        request = lm.acquire(1, "p", X)
+        fired = []
+        request.on_grant(lambda r: fired.append(True))
+        assert fired == [True]
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_immediately(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        assert lm.acquire(1, "p", X).granted
+        assert lm.mode_held(1, "p") is X
+
+    def test_upgrade_waits_for_other_sharers(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        lm.acquire(2, "p", S)
+        upgrade = lm.acquire(1, "p", X)
+        assert not upgrade.granted
+        lm.release_all(2)
+        assert upgrade.granted
+
+    def test_dual_upgrade_deadlock(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        lm.acquire(2, "p", S)
+        lm.acquire(1, "p", X)  # waits on 2
+        with pytest.raises(DeadlockDetected):
+            lm.acquire(2, "p", X)  # waits on 1 -> cycle
+        assert lm.deadlocks == 1
+
+
+class TestDeadlock:
+    def test_two_resource_cycle(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        lm.acquire(2, "q", X)
+        lm.acquire(1, "q", X)  # 1 waits on 2
+        with pytest.raises(DeadlockDetected):
+            lm.acquire(2, "p", X)  # 2 waits on 1 -> cycle
+
+    def test_three_txn_cycle(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(3, "c", X)
+        lm.acquire(1, "b", X)
+        lm.acquire(2, "c", X)
+        with pytest.raises(DeadlockDetected):
+            lm.acquire(3, "a", X)
+
+    def test_chain_without_cycle_allowed(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        request = lm.acquire(2, "a", X)  # 2 waits on 1: fine
+        assert not request.granted
+        lm.release_all(1)
+        assert request.granted
+
+    def test_victim_not_enqueued(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        lm.acquire(2, "q", X)
+        lm.acquire(1, "q", X)
+        with pytest.raises(DeadlockDetected):
+            lm.acquire(2, "p", X)
+        # After the victim aborts and releases, the survivor proceeds.
+        lm.release_all(2)
+        assert lm.mode_held(1, "q") is X
+
+
+class TestIntrospection:
+    def test_held_set(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        lm.acquire(1, "q", X)
+        assert lm.held(1) == {"p", "q"}
+        lm.release_all(1)
+        assert lm.held(1) == set()
+
+    def test_holders_of(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        lm.acquire(2, "p", S)
+        assert lm.holders_of("p") == {1: S, 2: S}
+
+    def test_exclusively_locked(self):
+        lm = LockManager()
+        lm.acquire(1, "p", S)
+        assert not lm.exclusively_locked("p")
+        lm.acquire(2, "q", X)
+        assert lm.exclusively_locked("q")
+
+    def test_is_locked(self):
+        lm = LockManager()
+        assert not lm.is_locked("p")
+        lm.acquire(1, "p", S)
+        assert lm.is_locked("p")
+        lm.release_all(1)
+        assert not lm.is_locked("p")
+
+    def test_stats(self):
+        lm = LockManager()
+        lm.acquire(1, "p", X)
+        lm.acquire(2, "p", X)
+        assert lm.grants == 1
+        assert lm.waits == 1

@@ -1,0 +1,137 @@
+"""Unit and property tests for the red-black tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+        assert tree.min_item() is None
+        assert tree.max_item() is None
+
+    def test_insert_get(self):
+        tree = RedBlackTree()
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces_payload(self):
+        tree = RedBlackTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_setdefault(self):
+        tree = RedBlackTree()
+        bucket = tree.setdefault(3, list)
+        bucket.append("x")
+        assert tree.setdefault(3, list) == ["x"]
+
+    def test_delete(self):
+        tree = RedBlackTree()
+        tree.insert(1, "a")
+        assert tree.delete(1) is True
+        assert tree.delete(1) is False
+        assert len(tree) == 0
+
+    def test_min_max(self):
+        tree = RedBlackTree()
+        for k in (5, 1, 9, 3):
+            tree.insert(k, str(k))
+        assert tree.min_item() == (1, "1")
+        assert tree.max_item() == (9, "9")
+
+    def test_items_sorted(self):
+        tree = RedBlackTree()
+        for k in (5, 1, 9, 3, 7):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_rotations_counted(self):
+        tree = RedBlackTree()
+        for k in range(32):  # ascending inserts force rotations
+            tree.insert(k, k)
+        assert tree.rotations > 0
+
+
+class TestRange:
+    def setup_method(self):
+        self.tree = RedBlackTree()
+        for k in range(0, 100, 10):
+            self.tree.insert(k, k)
+
+    def test_closed_open_range(self):
+        assert [k for k, _ in self.tree.range_items(20, 60)] == [20, 30, 40, 50]
+
+    def test_open_low(self):
+        assert [k for k, _ in self.tree.range_items(None, 25)] == [0, 10, 20]
+
+    def test_open_high(self):
+        assert [k for k, _ in self.tree.range_items(75, None)] == [80, 90]
+
+    def test_full_range(self):
+        assert len(list(self.tree.range_items())) == 10
+
+    def test_empty_range(self):
+        assert list(self.tree.range_items(41, 49)) == []
+
+    def test_reverse(self):
+        assert [k for k, _ in self.tree.range_items(20, 60, reverse=True)] == [50, 40, 30, 20]
+
+    def test_reverse_full(self):
+        keys = [k for k, _ in self.tree.range_items(reverse=True)]
+        assert keys == sorted(keys, reverse=True)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+def test_matches_dict_and_invariants(keys):
+    """Tree behaves like a sorted dict and keeps RB invariants throughout."""
+    tree = RedBlackTree()
+    reference = {}
+    for key in keys:
+        tree.insert(key, key * 2)
+        reference[key] = key * 2
+    tree.check_invariants()
+    assert len(tree) == len(reference)
+    assert [k for k, _ in tree.items()] == sorted(reference)
+    # Delete half the keys.
+    for key in sorted(set(keys))[::2]:
+        assert tree.delete(key)
+        del reference[key]
+        tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(reference)
+    for key in reference:
+        assert tree.get(key) == reference[key]
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+)
+def test_range_matches_sorted_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, None)
+    expected = sorted(k for k in set(keys) if lo <= k < hi)
+    assert [k for k, _ in tree.range_items(lo, hi)] == expected
+    assert [k for k, _ in tree.range_items(lo, hi, reverse=True)] == expected[::-1]
+
+
+def test_tuple_keys():
+    tree = RedBlackTree()
+    tree.insert((1, "b"), "x")
+    tree.insert((1, "a"), "y")
+    tree.insert((0, "z"), "z")
+    assert [k for k, _ in tree.items()] == [(0, "z"), (1, "a"), (1, "b")]

@@ -1,0 +1,91 @@
+"""Integration tests for the simulated on-disk baseline tier."""
+
+import pytest
+
+from repro.cluster.simdisk import SimDiskCluster
+from repro.tpcw import MIXES, TPCW_SCHEMAS, TpcwDataGenerator, TpcwScale
+
+SCALE = TpcwScale(num_items=60, num_customers=173)
+
+
+def build(num_active=1, num_passive=0, **kwargs):
+    cluster = SimDiskCluster(
+        TPCW_SCHEMAS, num_active=num_active, num_passive=num_passive,
+        pool_pages=64, **kwargs
+    )
+    cluster.load(TpcwDataGenerator(SCALE, seed=5))
+    return cluster
+
+
+class TestStandalone:
+    def test_workload_completes(self):
+        cluster = build()
+        cluster.start_browsers(6, MIXES["shopping"], SCALE, think_time_mean=1.0)
+        cluster.run(until=60.0)
+        assert cluster.metrics.completed > 30
+        assert cluster.metrics.failed == 0
+
+    def test_disk_time_slows_throughput_vs_big_pool(self):
+        big_scale = TpcwScale(num_items=400, num_customers=1152)
+        results = {}
+        for pool in (8, 100000):
+            cluster = SimDiskCluster(TPCW_SCHEMAS, num_active=1, pool_pages=pool)
+            cluster.load(TpcwDataGenerator(big_scale, seed=5))
+            cluster.warm_all_pools() if pool > 1000 else None
+            cluster.start_browsers(30, MIXES["browsing"], big_scale, think_time_mean=0.05)
+            cluster.run(until=30.0)
+            results[pool] = cluster.metrics.completed
+        assert results[100000] > results[8] * 1.5
+
+    def test_wal_grows_with_updates(self):
+        cluster = build()
+        cluster.start_browsers(6, MIXES["ordering"], SCALE, think_time_mean=0.5)
+        cluster.run(until=40.0)
+        assert len(cluster.nodes["d0"].db.wal) > 0
+
+
+class TestReplicated:
+    def test_write_all_keeps_actives_identical(self):
+        cluster = build(num_active=2)
+        cluster.start_browsers(6, MIXES["ordering"], SCALE, think_time_mean=0.5)
+        cluster.run(until=40.0)
+        v0 = cluster.nodes["d0"].db.current_versions()
+        v1 = cluster.nodes["d1"].db.current_versions()
+        assert v0 == v1
+        assert v0.total() > 0
+
+    def test_backup_lags_between_refreshes(self):
+        cluster = build(num_active=2, num_passive=1, refresh_interval=30.0)
+        cluster.start_browsers(6, MIXES["ordering"], SCALE, think_time_mean=0.5)
+        cluster.run(until=25.0)
+        lag_before = cluster.scheduler.backup_lag("backup0")
+        assert lag_before > 0
+        assert cluster.nodes["backup0"].db.current_versions().total() == 0
+        cluster.run(until=60.0)
+        # A refresh ran and the backup applied the batch it was handed.
+        assert cluster.scheduler.counters.get("casched.refresh_batches") >= 1
+        assert cluster.nodes["backup0"].db.current_versions().total() > 0
+
+    def test_failover_replays_lag_and_promotes(self):
+        cluster = build(num_active=2, num_passive=1, refresh_interval=10_000.0)
+        cluster.start_browsers(8, MIXES["shopping"], SCALE, think_time_mean=0.5)
+        cluster.kill_node_at("d0", 30.0)
+        cluster.run(until=200.0)
+        timeline = cluster.timelines[0]
+        assert timeline.replay_entries > 0
+        assert timeline.db_update_duration() > 0
+        actives = {r.node_id for r in cluster.scheduler.active_replicas()}
+        assert actives == {"d1", "backup0"}
+        # Service continued after failover.
+        late = cluster.metrics.wips.series(end=200.0).between(150.0, 200.0)
+        assert late.mean() > 0
+
+    def test_half_capacity_during_failover(self):
+        cluster = build(num_active=2, num_passive=1, refresh_interval=10_000.0)
+        cluster.start_browsers(20, MIXES["shopping"], SCALE, think_time_mean=0.3)
+        cluster.kill_node_at("d0", 60.0)
+        cluster.run(until=240.0)
+        series = cluster.metrics.wips.series(end=240.0)
+        before = series.between(20.0, 60.0).mean()
+        during = series.between(65.0, 95.0).mean()
+        assert during < before  # capacity visibly reduced after the kill

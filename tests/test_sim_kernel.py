@@ -1,0 +1,255 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now() == 0.0
+
+    def test_schedule_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.schedule(15.0, fired.append, 2)
+        sim.run(until=10.0)
+        assert fired == [1]
+        assert sim.now() == 10.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_until_advances_clock_with_empty_heap(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now() == 42.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield sim.timeout(4.0)
+            seen.append(sim.now())
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen == [4.0]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 99
+
+        p = sim.spawn(proc())
+        assert sim.run_until_complete(p) == 99
+
+    def test_wait_on_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return (result, sim.now())
+
+        p = sim.spawn(parent())
+        assert sim.run_until_complete(p) == ("done", 3.0)
+
+    def test_wait_on_event_value(self):
+        sim = Simulator()
+        evt = sim.event()
+
+        def waiter():
+            value = yield evt
+            return value
+
+        def trigger():
+            yield sim.timeout(2.0)
+            evt.succeed("payload")
+
+        p = sim.spawn(waiter())
+        sim.spawn(trigger())
+        assert sim.run_until_complete(p) == "payload"
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(7)
+
+        def waiter():
+            value = yield evt
+            return value
+
+        p = sim.spawn(waiter())
+        assert sim.run_until_complete(p) == 7
+
+    def test_failed_event_raises_in_waiter(self):
+        sim = Simulator()
+        evt = sim.event()
+
+        def waiter():
+            try:
+                yield evt
+            except RuntimeError as exc:
+                return f"caught:{exc}"
+
+        def failer():
+            yield sim.timeout(1.0)
+            evt.fail(RuntimeError("boom"))
+
+        p = sim.spawn(waiter())
+        sim.spawn(failer())
+        assert sim.run_until_complete(p) == "caught:boom"
+
+    def test_unhandled_process_exception_propagates(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("oops")
+
+        sim.spawn(bad())
+        with pytest.raises(ValueError, match="oops"):
+            sim.run()
+
+    def test_yielding_non_event_fails_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(1)
+        with pytest.raises(RuntimeError):
+            evt.succeed(2)
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timeout(sim, -0.5)
+
+
+class TestInterrupt:
+    def test_interrupt_delivered(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, sim.now()))
+
+        p = sim.spawn(proc())
+
+        def killer():
+            yield sim.timeout(5.0)
+            p.interrupt("node-failure")
+
+        sim.spawn(killer())
+        sim.run()
+        assert log == [("interrupted", "node-failure", 5.0)]
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.spawn(quick())
+        sim.run()
+        p.interrupt("late")  # must not raise
+        assert p.triggered
+
+    def test_uncaught_interrupt_cancels_silently(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        p = sim.spawn(proc())
+        sim.schedule(1.0, p.interrupt, "kill")
+        sim.run()  # must not raise
+        assert p.triggered and p.dead
+
+    def test_process_continues_after_caught_interrupt(self):
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(2.0)
+            return sim.now()
+
+        p = sim.spawn(proc())
+        sim.schedule(10.0, p.interrupt, None)
+        assert sim.run_until_complete(p) == 12.0
+
+    def test_alive_flag(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+
+        p = sim.spawn(proc())
+        sim.run(until=1.0)
+        assert p.alive
+        sim.run()
+        assert not p.alive
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        sim = Simulator()
+
+        def slow():
+            yield sim.timeout(10.0)
+            return "slow"
+
+        def fast():
+            yield sim.timeout(2.0)
+            return "fast"
+
+        def waiter():
+            event, value = yield sim.any_of([sim.spawn(slow(), "s"), sim.spawn(fast(), "f")])
+            return value, sim.now()
+
+        p = sim.spawn(waiter())
+        assert sim.run_until_complete(p) == ("fast", 2.0)

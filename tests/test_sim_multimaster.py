@@ -1,0 +1,96 @@
+"""Integration tests: multi-master conflict-class operation in the sim."""
+
+import pytest
+
+from repro.cluster.simcluster import SimDmvCluster
+from repro.tpcw import MIXES, TPCW_SCHEMAS, TpcwDataGenerator, TpcwScale, tpcw_conflict_map
+
+SCALE = TpcwScale(num_items=80, num_customers=230)
+
+
+def build(**kwargs):
+    kwargs.setdefault("num_slaves", 2)
+    cluster = SimDmvCluster(
+        TPCW_SCHEMAS,
+        conflict_map=tpcw_conflict_map(multi_master=True),
+        multi_master=True,
+        **kwargs,
+    )
+    cluster.load(TpcwDataGenerator(SCALE, seed=11))
+    cluster.warm_all_caches()
+    return cluster
+
+
+class TestMultiMasterOperation:
+    def test_two_masters_exist(self):
+        cluster = build()
+        masters = [n for n in cluster.nodes.values() if n.master is not None]
+        assert len(masters) == 2
+        # Each is also a slave for the classes it does not own.
+        assert all(n.slave is not None for n in masters)
+
+    def test_updates_split_across_masters(self):
+        cluster = build()
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        cluster.run(until=40.0)
+        m0 = cluster.nodes["m0"].counters.get("master.write_sets")
+        m1 = cluster.nodes["m1"].counters.get("master.write_sets")
+        assert m0 > 0 and m1 > 0  # both conflict classes saw commits
+
+    def test_slaves_see_both_masters_updates(self):
+        cluster = build()
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        cluster.run(until=40.0)
+        latest = cluster.scheduler.latest
+        assert latest.get("shopping_cart") > 0   # ordering-class master
+        assert latest.get("customer") > 0        # registration-class master
+        for node_id in ("s0", "s1"):
+            slave = cluster.nodes[node_id].slave
+            assert slave.received_versions.dominates(latest)
+
+    def test_masters_replicate_to_each_other(self):
+        cluster = build()
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        cluster.run(until=40.0)
+        # m0 owns the ordering class; it must still have received the
+        # customer-class write-sets as a slave.
+        m0 = cluster.nodes["m0"]
+        assert m0.slave.received_versions.get("customer") > 0
+
+    def test_workload_completes_without_failures(self):
+        cluster = build()
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        cluster.run(until=40.0)
+        assert cluster.metrics.completed > 100
+        assert cluster.metrics.failed == 0
+
+
+class TestMultiMasterFailover:
+    def test_one_master_fails_other_keeps_running(self):
+        cluster = build(num_slaves=3)
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        cluster.kill_node_at("m1", 20.0)
+        cluster.run(until=80.0)
+        masters = {
+            n.node_id for n in cluster.nodes.values() if n.master is not None and n.alive
+        }
+        assert "m0" in masters
+        assert len(masters) == 2  # a slave inherited m1's classes
+        promoted = (masters - {"m0"}).pop()
+        # The promoted node keeps a slave role for the classes it does not own.
+        assert cluster.nodes[promoted].slave is not None
+        late = cluster.metrics.wips.series(end=80.0).between(50.0, 80.0)
+        assert late.mean() > 0
+
+    def test_registrations_flow_after_customer_master_death(self):
+        cluster = build(num_slaves=3)
+        cluster.start_browsers(10, MIXES["ordering"], SCALE, think_time_mean=0.3)
+        # m1 owns the customer/address class (round-robin assignment).
+        victim = cluster.conflict_map.master_for_tables(["customer"])
+        cluster.kill_node_at(victim, 20.0)
+        before_done = None
+        cluster.run(until=40.0)
+        before = cluster.scheduler.latest.get("customer")
+        cluster.run(until=90.0)
+        after = cluster.scheduler.latest.get("customer")
+        assert after > before  # registrations commit on the new master

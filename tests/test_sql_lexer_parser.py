@@ -1,0 +1,216 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sql.ast_nodes import (
+    Between,
+    BinOp,
+    ColumnRef,
+    Delete,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    Select,
+    UnaryOp,
+    Update,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_kw("select") for t in tokens[:3])
+
+    def test_identifiers(self):
+        tokens = tokenize("c_uname item2 _x")
+        assert [t.kind for t in tokens[:3]] == ["ident"] * 3
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 0.5")
+        assert [t.value for t in tokens[:3]] == ["42", "3.14", "0.5"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("<= >= <> != = < >")
+        assert [t.value for t in tokens[:7]] == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_params_and_punct(self):
+        tokens = tokenize("(?, ?)")
+        kinds = [(t.kind, t.value) for t in tokens[:5]]
+        assert kinds == [
+            ("punct", "("), ("punct", "?"), ("punct", ","), ("punct", "?"), ("punct", ")"),
+        ]
+
+    def test_qualified_name(self):
+        tokens = tokenize("item.i_id")
+        assert [t.value for t in tokens[:3]] == ["item", ".", "i_id"]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        assert tokenize("")[0].kind == "end"
+
+
+class TestParserSelect:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(stmt, Select)
+        assert len(stmt.items) == 2
+        assert stmt.tables[0].table == "t"
+        assert isinstance(stmt.where, BinOp)
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.star
+
+    def test_params_numbered(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = ? AND b = ?")
+        conj = stmt.where
+        assert conj.right.right == Param(1)
+        assert conj.left.right == Param(0)
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT i.i_id AS id, a.a_fname nm FROM item i, author AS a")
+        assert stmt.items[0].alias == "id"
+        assert stmt.items[1].alias == "nm"
+        assert stmt.tables[0].alias == "i"
+        assert stmt.tables[1].alias == "a"
+
+    def test_explicit_join_folded_into_where(self):
+        stmt = parse_statement(
+            "SELECT * FROM item JOIN author ON item.i_a_id = author.a_id WHERE i_id = 1"
+        )
+        assert len(stmt.tables) == 2
+        # WHERE and ON are both present as conjuncts.
+        assert isinstance(stmt.where, BinOp) and stmt.where.op == "and"
+
+    def test_group_order_limit(self):
+        stmt = parse_statement(
+            "SELECT i_id, SUM(ol_qty) AS total FROM order_line "
+            "GROUP BY i_id ORDER BY total DESC, i_id ASC LIMIT 50 OFFSET 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == Literal(50)
+        assert stmt.offset == Literal(10)
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM t")
+        func = stmt.items[0].expr
+        assert isinstance(func, FuncCall) and func.star
+
+    def test_distinct_aggregate(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_select_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_like_in_between_isnull(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE a LIKE 'x%' AND b IN (1, 2) "
+            "AND c BETWEEN 1 AND 5 AND d IS NOT NULL"
+        )
+        conjuncts = []
+
+        def flatten(e):
+            if isinstance(e, BinOp) and e.op == "and":
+                flatten(e.left)
+                flatten(e.right)
+            else:
+                conjuncts.append(e)
+
+        flatten(stmt.where)
+        assert isinstance(conjuncts[0], Like)
+        assert isinstance(conjuncts[1], InList)
+        assert isinstance(conjuncts[2], Between)
+        assert isinstance(conjuncts[3], IsNull) and conjuncts[3].negated
+
+    def test_not_like(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a NOT LIKE 'x%'")
+        assert stmt.where.negated
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a NOT IN (1)")
+        assert isinstance(stmt.where, InList) and stmt.where.negated
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT 1 + 2 * 3 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesised_expression(self):
+        stmt = parse_statement("SELECT (1 + 2) * 3 FROM t")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_statement("SELECT -a FROM t")
+        assert isinstance(stmt.items[0].expr, UnaryOp)
+
+    def test_or_precedence(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_qualified_column(self):
+        stmt = parse_statement("SELECT item.i_id FROM item")
+        assert stmt.items[0].expr == ColumnRef("item", "i_id")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_statement("SELECT a FROM t garbage extra tokens ,")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse_statement("SELECT a WHERE a = 1")
+
+
+class TestParserDml:
+    def test_insert(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ["a", "b"]
+        assert stmt.rows[0][1] == Literal("x")
+
+    def test_insert_multi_row(self):
+        stmt = parse_statement("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlError):
+            parse_statement("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = ? WHERE c = 2")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0][0] == "a"
+        assert stmt.assignments[1][1] == Param(0)
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, Delete)
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+    def test_semicolon_tolerated(self):
+        parse_statement("SELECT a FROM t;")

@@ -1,0 +1,220 @@
+"""Unit and property tests for pages, page stores and page ops."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SchemaError
+from repro.common.ids import PageId
+from repro.storage import OpKind, Page, PageOp, PageStore, apply_op, encoded_size
+from repro.storage.ops import apply_ops, ops_size, touched_pages
+
+
+def make_page(n_rows=0, capacity=8):
+    page = Page(PageId("item", 0), capacity=capacity)
+    for i in range(n_rows):
+        page.put(i, (i, f"row-{i}"))
+    return page
+
+
+class TestPage:
+    def test_empty_page(self):
+        page = make_page()
+        assert page.live_rows == 0
+        assert not page.full
+        assert page.first_free_slot() == 0
+
+    def test_put_get(self):
+        page = make_page()
+        page.put(3, (3, "x"))
+        assert page.get(3) == (3, "x")
+        assert page.live_rows == 1
+
+    def test_overwrite_keeps_count(self):
+        page = make_page(1)
+        page.put(0, (0, "new"))
+        assert page.live_rows == 1
+
+    def test_delete_decrements(self):
+        page = make_page(2)
+        page.put(0, None)
+        assert page.live_rows == 1
+
+    def test_full_and_free_slot(self):
+        page = make_page(8, capacity=8)
+        assert page.full
+        assert page.first_free_slot() is None
+        page.put(5, None)
+        assert page.first_free_slot() == 5
+
+    def test_iter_live(self):
+        page = make_page(3)
+        page.put(1, None)
+        assert [slot for slot, _ in page.iter_live()] == [0, 2]
+
+    def test_snapshot_is_independent(self):
+        page = make_page(2)
+        page.version = 9
+        snap = page.snapshot()
+        page.put(0, None)
+        page.version = 10
+        assert snap.live_rows == 2
+        assert snap.version == 9
+        assert snap.get(0) == (0, "row-0")
+
+    def test_load_from(self):
+        page = make_page(2)
+        page.version = 4
+        other = Page(PageId("item", 0), capacity=8)
+        other.load_from(page.snapshot())
+        assert other.live_rows == 2
+        assert other.version == 4
+
+    def test_load_from_wrong_page_rejected(self):
+        page = make_page()
+        with pytest.raises(SchemaError):
+            page.load_from(Page(PageId("item", 1)))
+
+    def test_byte_size_grows_with_rows(self):
+        empty = make_page(0)
+        full = make_page(8, capacity=8)
+        assert full.byte_size() > empty.byte_size() > 0
+
+
+class TestPageStore:
+    def test_allocate_dense_numbering(self):
+        store = PageStore()
+        pages = [store.allocate("item") for _ in range(3)]
+        assert [p.page_id.number for p in pages] == [0, 1, 2]
+
+    def test_get_missing_raises(self):
+        with pytest.raises(SchemaError):
+            PageStore().get(PageId("item", 0))
+
+    def test_get_or_allocate_fills_gap(self):
+        store = PageStore()
+        page = store.get_or_allocate(PageId("item", 2))
+        assert page.page_id.number == 2
+        assert store.page_count() == 3
+
+    def test_tables_and_pages_of(self):
+        store = PageStore()
+        store.allocate("b_table")
+        store.allocate("a_table")
+        store.allocate("a_table")
+        assert store.tables() == ["a_table", "b_table"]
+        assert len(store.pages_of("a_table")) == 2
+        assert store.pages_of("missing") == []
+
+    def test_version_map(self):
+        store = PageStore()
+        page = store.allocate("item")
+        page.version = 5
+        assert store.version_map() == {PageId("item", 0): 5}
+
+    def test_all_pages_sorted_by_table(self):
+        store = PageStore()
+        store.allocate("z")
+        store.allocate("a")
+        assert [p.page_id.table for p in store.all_pages()] == ["a", "z"]
+
+    def test_clear(self):
+        store = PageStore()
+        store.allocate("item")
+        store.clear()
+        assert store.page_count() == 0
+
+
+class TestPageOps:
+    def test_insert_apply(self):
+        page = make_page()
+        apply_op(page, PageOp(page.page_id, OpKind.INSERT, 0, (1, "a")))
+        assert page.get(0) == (1, "a")
+
+    def test_update_apply(self):
+        page = make_page(1)
+        apply_op(page, PageOp(page.page_id, OpKind.UPDATE, 0, (0, "changed")))
+        assert page.get(0) == (0, "changed")
+
+    def test_delete_apply(self):
+        page = make_page(1)
+        apply_op(page, PageOp(page.page_id, OpKind.DELETE, 0))
+        assert page.get(0) is None
+
+    def test_wrong_page_rejected(self):
+        page = make_page()
+        op = PageOp(PageId("item", 5), OpKind.DELETE, 0)
+        with pytest.raises(SchemaError):
+            apply_op(page, op)
+
+    def test_insert_without_row_rejected(self):
+        page = make_page()
+        with pytest.raises(SchemaError):
+            apply_op(page, PageOp(page.page_id, OpKind.INSERT, 0, None))
+
+    def test_inverse_roundtrip_update(self):
+        page = make_page(1)
+        before = page.get(0)
+        op = PageOp(page.page_id, OpKind.UPDATE, 0, (0, "new"))
+        undo = op.inverse(before)
+        apply_op(page, op)
+        apply_op(page, undo)
+        assert page.get(0) == before
+
+    def test_inverse_roundtrip_insert(self):
+        page = make_page()
+        op = PageOp(page.page_id, OpKind.INSERT, 2, (2, "x"))
+        undo = op.inverse(None)
+        apply_op(page, op)
+        apply_op(page, undo)
+        assert page.get(2) is None
+
+    def test_inverse_roundtrip_delete(self):
+        page = make_page(1)
+        before = page.get(0)
+        op = PageOp(page.page_id, OpKind.DELETE, 0)
+        undo = op.inverse(before)
+        apply_op(page, op)
+        apply_op(page, undo)
+        assert page.get(0) == before
+
+    def test_encoded_size_positive(self):
+        op = PageOp(PageId("t", 0), OpKind.INSERT, 0, (1, "abc", 2.5, None))
+        assert encoded_size(op) > 24
+        assert ops_size([op, op]) == 2 * encoded_size(op)
+
+    def test_touched_pages_order_and_dedup(self):
+        a, b = PageId("t", 0), PageId("t", 1)
+        ops = [
+            PageOp(a, OpKind.DELETE, 0),
+            PageOp(b, OpKind.DELETE, 0),
+            PageOp(a, OpKind.DELETE, 1),
+        ]
+        assert touched_pages(ops) == (a, b)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.sampled_from(["insert", "update", "delete"]),
+        ),
+        max_size=24,
+    )
+)
+def test_ops_applied_in_order_are_deterministic(script):
+    """Applying the same op sequence to equal pages yields equal pages."""
+    pid = PageId("item", 0)
+    ops = []
+    for i, (slot, kind) in enumerate(script):
+        if kind == "delete":
+            ops.append(PageOp(pid, OpKind.DELETE, slot))
+        else:
+            ops.append(PageOp(pid, OpKind(kind), slot, (i, f"v{i}")))
+    p1 = Page(pid, capacity=8)
+    p2 = Page(pid, capacity=8)
+    apply_ops(p1, ops)
+    apply_ops(p2, ops)
+    assert p1.slots == p2.slots
+    assert p1.live_rows == p2.live_rows
+    assert p1.live_rows == sum(1 for r in p1.slots if r is not None)

@@ -1,0 +1,217 @@
+"""Behavioural tests for the TPC-W interactions (SQL-level semantics)."""
+
+import pytest
+
+from repro.common.rng import RngStream
+from repro.cluster import SyncDmvCluster
+from repro.tpcw import (
+    INTERACTIONS,
+    EmulatedBrowser,
+    InteractionContext,
+    MIXES,
+    TPCW_SCHEMAS,
+    TpcwDataGenerator,
+    TpcwScale,
+    run_sync,
+)
+from repro.tpcw.interactions import SharedSequences
+
+SCALE = TpcwScale(num_items=50, num_customers=144)
+
+
+@pytest.fixture
+def cluster():
+    cluster = SyncDmvCluster(TPCW_SCHEMAS, num_slaves=1)
+    cluster.load(TpcwDataGenerator(SCALE, seed=9))
+    return cluster
+
+
+@pytest.fixture
+def ctx():
+    import time
+
+    return InteractionContext(
+        rng=RngStream(4, "ctx"),
+        scale=SCALE,
+        sequences=SharedSequences(SCALE),
+        customer_id=7,
+        now=time.time,
+    )
+
+
+class TestReadOnlySemantics:
+    def test_new_products_sorted_by_pub_date(self, cluster, ctx):
+        conn = cluster.connect()
+        # Query directly so the subject is deterministic.
+        conn.begin_read(["item", "author"])
+        from repro.tpcw.interactions import NEW_PRODUCTS
+
+        rs = conn.query(NEW_PRODUCTS, ("ARTS",)).value
+        conn.commit()
+        # Fetch pub dates for the returned ids and check descending order.
+        dates = [
+            cluster.run_read(
+                "SELECT i_pub_date FROM item WHERE i_id = ?", (row[0],), tables=["item"]
+            ).scalar()
+            for row in rs.rows
+        ]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_best_sellers_ranking_descends(self, cluster, ctx):
+        conn = cluster.connect()
+        # Create sales concentrated on known items.
+        ctx.cart_contents = {}
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        from repro.tpcw.interactions import BEST_SELLERS, MAX_ORDER_ID
+
+        conn.begin_read(["item", "author", "orders", "order_line"])
+        newest = conn.query(MAX_ORDER_ID).value.scalar()
+        subject_rows = None
+        for subject in ("ARTS", "COMPUTERS", "HISTORY"):
+            rs = conn.query(BEST_SELLERS, (0, subject)).value
+            if len(rs.rows) >= 2:
+                subject_rows = rs.rows
+                break
+        conn.commit()
+        if subject_rows:
+            totals = [row[4] for row in subject_rows]
+            assert totals == sorted(totals, reverse=True)
+
+    def test_order_display_returns_latest_order(self, cluster, ctx):
+        conn = cluster.connect()
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        first = run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        second = run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        assert second["order"] > first["order"]
+        rs = cluster.run_read(
+            "SELECT o_id FROM orders WHERE o_c_id = ? ORDER BY o_date DESC, o_id DESC LIMIT 1",
+            (ctx.customer_id,),
+            tables=["orders"],
+        )
+        assert rs.scalar() == second["order"]
+
+    def test_order_inquiry_finds_password(self, cluster, ctx):
+        conn = cluster.connect()
+        summary = run_sync(INTERACTIONS["order_inquiry"](conn, ctx))
+        assert summary["rows"] == 1
+
+
+class TestUpdateSemantics:
+    def test_buy_confirm_order_math(self, cluster, ctx):
+        conn = cluster.connect()
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        summary = run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        rs = cluster.run_read(
+            "SELECT o_sub_total, o_tax, o_total FROM orders WHERE o_id = ?",
+            (summary["order"],),
+            tables=["orders"],
+        )
+        subtotal, tax, total = rs.rows[0]
+        assert tax == pytest.approx(round(subtotal * 0.0825, 2))
+        assert total == pytest.approx(subtotal + tax)
+
+    def test_buy_confirm_decrements_stock(self, cluster, ctx):
+        conn = cluster.connect()
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        items = list(ctx.cart_contents.items())
+        stocks_before = {
+            item: cluster.run_read(
+                "SELECT i_stock FROM item WHERE i_id = ?", (item,), tables=["item"]
+            ).scalar()
+            for item, _qty in items
+        }
+        run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        for item, qty in items:
+            after = cluster.run_read(
+                "SELECT i_stock FROM item WHERE i_id = ?", (item,), tables=["item"]
+            ).scalar()
+            # Stock decreases by qty, or is restocked (+21) 10 % of the time.
+            assert after in (stocks_before[item] - qty, stocks_before[item] - qty + 21)
+
+    def test_buy_confirm_empties_cart(self, cluster, ctx):
+        conn = cluster.connect()
+        run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        run_sync(INTERACTIONS["buy_confirm"](conn, ctx))
+        assert ctx.cart_contents == {}
+        rs = cluster.run_read(
+            "SELECT COUNT(*) FROM shopping_cart_line WHERE scl_sc_id = ?",
+            (ctx.cart_id,),
+            tables=["shopping_cart_line"],
+        )
+        assert rs.scalar() == 0
+
+    def test_shopping_cart_upsert_accumulates(self, cluster, ctx):
+        conn = cluster.connect()
+        for _ in range(4):
+            run_sync(INTERACTIONS["shopping_cart"](conn, ctx))
+        # Session view matches the database exactly.
+        rs = cluster.run_read(
+            "SELECT scl_i_id, scl_qty FROM shopping_cart_line WHERE scl_sc_id = ?",
+            (ctx.cart_id,),
+            tables=["shopping_cart_line"],
+        )
+        assert {row[0]: row[1] for row in rs.rows} == ctx.cart_contents
+
+    def test_customer_registration_inserts_address(self, cluster, ctx):
+        conn = cluster.connect()
+        run_sync(INTERACTIONS["customer_registration"](conn, ctx))
+        rs = cluster.run_read(
+            "SELECT c_addr_id FROM customer WHERE c_id = ?", (ctx.customer_id,),
+            tables=["customer"],
+        )
+        addr_id = rs.scalar()
+        assert addr_id > SCALE.num_addresses
+        rs = cluster.run_read(
+            "SELECT COUNT(*) FROM address WHERE addr_id = ?", (addr_id,),
+            tables=["address"],
+        )
+        assert rs.scalar() == 1
+
+    def test_admin_confirm_raises_price(self, cluster, ctx):
+        before = {
+            i: cluster.run_read(
+                "SELECT i_cost FROM item WHERE i_id = ?", (i,), tables=["item"]
+            ).scalar()
+            for i in range(1, SCALE.num_items + 1)
+        }
+        conn = cluster.connect()
+        summary = run_sync(INTERACTIONS["admin_confirm"](conn, ctx))
+        after = cluster.run_read(
+            "SELECT i_cost FROM item WHERE i_id = ?", (summary["item"],), tables=["item"]
+        ).scalar()
+        assert after == pytest.approx(round(before[summary["item"]] * 1.1, 2))
+
+
+class TestEmulatedBrowser:
+    def make_browser(self, mix="shopping"):
+        return EmulatedBrowser(
+            browser_id=0,
+            mix=MIXES[mix],
+            scale=SCALE,
+            sequences=SharedSequences(SCALE),
+            rng=RngStream(5, "eb"),
+        )
+
+    def test_pick_distribution_tracks_mix(self):
+        browser = self.make_browser("browsing")
+        picks = [browser.pick() for _ in range(3000)]
+        home_share = picks.count("home") / len(picks)
+        assert 0.24 < home_share < 0.34  # browsing mix: 29 %
+
+    def test_think_time_capped(self):
+        browser = self.make_browser()
+        for _ in range(500):
+            assert 0.0 <= browser.think_time() <= 70.0
+
+    def test_is_update_classification(self):
+        browser = self.make_browser()
+        assert browser.is_update("buy_confirm")
+        assert not browser.is_update("best_sellers")
+
+    def test_start_counts_interactions(self, cluster):
+        browser = self.make_browser()
+        conn = cluster.connect()
+        run_sync(browser.start("home", conn))
+        assert browser.interactions_run == 1
