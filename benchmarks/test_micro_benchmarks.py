@@ -181,3 +181,180 @@ def test_bench_writeset_discard(benchmark):
         return slave.discard_above(confirmed)
 
     benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+
+# -- write-set fast path -----------------------------------------------------
+
+
+def _time_best(fn, repeats=5):
+    """Best-of-N wall-clock timing (seconds) for one call of ``fn``."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_delta_encode_decode_vs_full_image(benchmark, figure_report):
+    """Delta UPDATE round-trip (encode + size + apply) vs full-image ops."""
+    from repro.common.ids import PageId
+    from repro.storage.ops import OpKind, PageOp, apply_op, delta_update_op, encoded_size
+    from repro.storage.page import Page
+
+    wide = tuple([7, "title-string-with-some-padding", "ARTS"] + list(range(9)))
+    after = wide[:3] + (999,) + wide[4:]
+    index_positions = ((2, 0),)
+    n = 500
+
+    def full_roundtrip():
+        page = Page(PageId("t", 0), 4)
+        page.put(1, wide)
+        total = 0
+        for _ in range(n):
+            op = PageOp(PageId("t", 0), OpKind.UPDATE, 1, after, wide)
+            total += encoded_size(op)
+            apply_op(page, op)
+        return total
+
+    def delta_roundtrip():
+        page = Page(PageId("t", 0), 4)
+        page.put(1, wide)
+        total = 0
+        for _ in range(n):
+            op = delta_update_op(PageId("t", 0), 1, wide, after, index_positions)
+            total += encoded_size(op)
+            apply_op(page, op)
+        return total
+
+    full_bytes = full_roundtrip() / n
+    delta_bytes = delta_roundtrip() / n
+    t_full = _time_best(full_roundtrip) / n
+    t_delta = _time_best(delta_roundtrip) / n
+    benchmark.pedantic(delta_roundtrip, rounds=3, iterations=1)
+
+    assert delta_bytes < full_bytes / 2  # single-column change on a 12-col row
+    figure_report(
+        "micro_delta_encoding",
+        "delta-encoded UPDATE vs full-image (12-col row, 1 changed col)\n"
+        f"  wire bytes/op : full {full_bytes:7.1f}   delta {delta_bytes:7.1f}"
+        f"   ({1 - delta_bytes / full_bytes:.0%} smaller)\n"
+        f"  encode+apply  : full {t_full * 1e6:7.2f}us delta {t_delta * 1e6:7.2f}us",
+    )
+
+
+def test_bench_deep_queue_materialise_coalesced_vs_sequential(benchmark, figure_report):
+    """Materialising a deep pending queue: coalesced vs one-op-at-a-time."""
+    from collections import deque
+
+    from repro.common.counters import Counters
+    from repro.common.ids import PageId
+    from repro.storage.ops import apply_op, delta_update_op
+    from repro.storage.page import Page
+
+    page_id = PageId("t", 0)
+    capacity = 8
+    depth = 4000
+    base = Page(page_id, capacity)
+    wide = tuple([0, "title-string-with-some-padding", "ARTS"] + list(range(9)))
+    for slot in range(capacity):
+        base.put(slot, (slot,) + wide[1:])
+
+    queue = []
+    shadow = {slot: base.get(slot) for slot in range(capacity)}
+    for v in range(1, depth + 1):
+        slot = v % capacity
+        before = shadow[slot]
+        after = before[:3] + (v,) + before[4:]
+        queue.append((v, delta_update_op(page_id, slot, before, after, ((2, 0),))))
+        shadow[slot] = after
+
+    def sequential():
+        page = base.snapshot()
+        for version, op in queue:
+            apply_op(page, op)
+            page.version = max(page.version, version)
+        return page
+
+    def coalesced():
+        page = base.snapshot()
+        slave = SlaveReplica.__new__(SlaveReplica)
+        slave.counters = Counters()
+        plan, top, popped = slave._coalesce(deque(queue), None)
+        slave._apply_plan(page, plan, top, popped)
+        return page
+
+    assert coalesced().slots == sequential().slots
+    t_seq = _time_best(sequential)
+    t_coal = _time_best(coalesced)
+    benchmark.pedantic(coalesced, rounds=3, iterations=1)
+
+    assert t_coal < t_seq  # the coalesced path must win on a deep queue
+    figure_report(
+        "micro_coalesced_materialise",
+        f"deep-queue materialisation ({depth} pending ops, {capacity} slots)\n"
+        f"  sequential apply : {t_seq * 1e3:8.2f} ms\n"
+        f"  coalesced apply  : {t_coal * 1e3:8.2f} ms   ({t_seq / t_coal:.1f}x faster)",
+    )
+
+
+def test_bench_batched_vs_unbatched_broadcast(figure_report):
+    """Simulated network time for bursty broadcast: batched vs per-message."""
+    from repro.cluster.costs import CostConfig
+
+    master, slave = make_pair(rows=200)
+    sql = SqlExecutor(master.engine)
+    write_sets = []
+    for i in range(200):
+        txn = master.begin_update()
+        sql.execute(txn, "UPDATE item SET i_stock = ? WHERE i_id = ?", (i, i))
+        ws = master.pre_commit(txn)
+        slave.receive(ws)
+        master.finalize(txn)
+        write_sets.append(ws)
+
+    cfg = CostConfig()
+    burst = 10  # concurrent pre-commits per group-commit window
+    unbatched = sum(
+        cfg.net_delay(ws.byte_size()) + cfg.net_delay(cfg.net_ack_bytes)
+        for ws in write_sets
+    )
+    batched = 0.0
+    for i in range(0, len(write_sets), burst):
+        group = write_sets[i : i + burst]
+        payload = sum(ws.byte_size() for ws in group)
+        batched += cfg.batch_delay(payload, len(group)) + cfg.net_delay(cfg.net_ack_bytes)
+
+    assert batched < unbatched
+    figure_report(
+        "micro_broadcast_batching",
+        f"broadcast of {len(write_sets)} write-sets (bursts of {burst}), simulated net time\n"
+        f"  per-message : {unbatched * 1e3:8.3f} ms\n"
+        f"  batched     : {batched * 1e3:8.3f} ms   ({1 - batched / unbatched:.0%} less)",
+    )
+
+
+def test_ordering_mix_delta_savings(figure_report):
+    """TPC-W ordering mix must ship >=30% fewer write-set bytes via deltas."""
+    from conftest import quick_mode
+
+    from repro.bench.harness import run_dmv_throughput
+
+    duration = 14.0 if quick_mode() else 20.0
+    run = run_dmv_throughput("ordering", 4, 100, duration=duration)
+
+    assert run.delta_savings_fraction >= 0.30
+    rep = run.replication
+    per_batch = rep.get("net.write_sets_sent", 0.0) / max(rep.get("net.batches", 1.0), 1.0)
+    figure_report(
+        "micro_delta_savings_ordering",
+        f"ordering mix, 4 slaves, 100 clients, {duration:.0f}s simulated\n"
+        f"  wips {run.wips:.1f}  abort rate {run.abort_rate:.2%}\n"
+        f"  bytes shipped {rep.get('net.bytes_shipped', 0.0):,.0f}"
+        f"  saved by deltas {rep.get('net.bytes_saved_delta', 0.0):,.0f}"
+        f"  ({run.delta_savings_fraction:.1%})\n"
+        f"  write-sets/batch {per_batch:.2f}  ops coalesced"
+        f" {rep.get('slave.ops_coalesced', 0.0):,.0f}",
+    )

@@ -71,6 +71,41 @@ class ThroughputRun:
     latency_p95: float
     abort_rate: float
     completed: int
+    #: Cluster-wide replication-pipeline totals (``net.*`` / ``slave.*``
+    #: counters summed over all nodes); empty for configurations that do
+    #: not replicate (stand-alone InnoDB).
+    replication: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bytes_shipped(self) -> float:
+        return self.replication.get("net.bytes_shipped", 0.0)
+
+    @property
+    def delta_savings_fraction(self) -> float:
+        """Fraction of would-be write-set bytes removed by delta encoding."""
+        shipped = self.replication.get("net.bytes_shipped", 0.0)
+        saved = self.replication.get("net.bytes_saved_delta", 0.0)
+        total = shipped + saved
+        return saved / total if total else 0.0
+
+
+REPLICATION_COUNTERS = (
+    "net.batches",
+    "net.write_sets_sent",
+    "net.bytes_shipped",
+    "net.bytes_saved_delta",
+    "slave.ops_buffered",
+    "slave.ops_applied",
+    "slave.ops_coalesced",
+)
+
+
+def replication_totals(cluster) -> Dict[str, float]:
+    """Sum the replication fast-path counters over every node of a run."""
+    from repro.common.counters import Counters
+
+    merged = Counters.merged(node.counters for node in cluster.nodes.values())
+    return {name: merged.get(name) for name in REPLICATION_COUNTERS}
 
 
 @dataclass
@@ -122,7 +157,8 @@ def run_dmv_throughput(
     cluster.start_browsers(clients, MIXES[mix_name], scale, think_time_mean=think_time)
     wips, lat = _measure(cluster, duration)
     return ThroughputRun(
-        clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed
+        clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed,
+        replication=replication_totals(cluster),
     )
 
 

@@ -40,6 +40,10 @@ class CostConfig:
     # -- network ----------------------------------------------------------------------------
     net_latency: float = 0.0002          # one-way LAN latency
     net_bandwidth: float = 100e6         # bytes/second
+    #: Per-write-set framing overhead inside a batched replication message.
+    net_frame_bytes: int = 24
+    #: Size of the (piggybacked) per-batch acknowledgement frame.
+    net_ack_bytes: int = 64
     # -- node shape --------------------------------------------------------------------------
     cores_per_node: int = 2
     # -- reconfiguration --------------------------------------------------------------------------
@@ -54,6 +58,14 @@ class CostConfig:
 
     def net_delay(self, nbytes: int) -> float:
         return self.net_latency + nbytes / self.net_bandwidth
+
+    def batch_bytes(self, payload_bytes: int, messages: int) -> int:
+        """Wire size of ``messages`` write-sets framed into one batch."""
+        return payload_bytes + self.net_frame_bytes * messages
+
+    def batch_delay(self, payload_bytes: int, messages: int) -> float:
+        """Group-commit batching: one latency charge, bandwidth per byte."""
+        return self.net_delay(self.batch_bytes(payload_bytes, messages))
 
     def rtt(self, nbytes: int = 256) -> float:
         """Request/response round trip through the scheduler."""

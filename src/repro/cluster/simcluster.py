@@ -172,6 +172,65 @@ class SchedulerAgent:
     ready: bool = True  # False while a takeover is resynchronising
 
 
+class ReplicationChannel:
+    """Outbound master->slave link with group-commit broadcast batching.
+
+    Pre-commit broadcasts issued while a transfer to the same slave is in
+    flight are framed into ONE batched network message: the batch pays one
+    ``net_latency`` (plus bandwidth for every byte) instead of a latency
+    charge per write-set, and the per-write-set acks come back piggybacked
+    on a single ack frame.  Under a loaded master this is classic group
+    commit — the deeper the commit concurrency, the bigger the batches.
+    """
+
+    def __init__(self, cluster: "SimDmvCluster", target: "InMemoryDbNode") -> None:
+        self.cluster = cluster
+        self.target = target
+        self._outbox: List[Tuple[object, object]] = []  # (write_set, ack event)
+        self._busy = False
+
+    def send(self, write_set):
+        """Queue one write-set; returns the event its ack will trigger."""
+        ack = self.cluster.sim.event()
+        self._outbox.append((write_set, ack))
+        if not self._busy:
+            self._busy = True
+            self.cluster.sim.spawn(self._drain(), name=f"repl:{self.target.node_id}")
+        return ack
+
+    def _drain(self):
+        cfg = self.cluster.cost.config
+        try:
+            while self._outbox:
+                batch, self._outbox = self._outbox, []
+                payload = sum(ws.byte_size() for ws, _ack in batch)
+                counters = self.target.counters
+                counters.add("net.batches")
+                counters.add("net.write_sets_sent", len(batch))
+                counters.add("net.bytes_shipped", cfg.batch_bytes(payload, len(batch)))
+                saved = sum(ws.bytes_saved() for ws, _ack in batch)
+                if saved:
+                    counters.add("net.bytes_saved_delta", saved)
+                yield self.cluster.sim.timeout(cfg.batch_delay(payload, len(batch)))
+                delivered = []
+                for ws, ack in batch:
+                    if not self.target.alive:
+                        ack.succeed(False)
+                        continue
+                    try:
+                        yield self.target.job(self.target.receive_write_set(ws), "recv")
+                    except (NodeUnavailable, TransactionAborted):
+                        ack.succeed(False)
+                        continue
+                    delivered.append(ack)
+                if delivered:
+                    yield self.cluster.sim.timeout(cfg.net_delay(cfg.net_ack_bytes))
+                    for ack in delivered:
+                        ack.succeed(True)
+        finally:
+            self._busy = False
+
+
 class SimDmvCluster:
     """Scheduler(s) + master + slaves (+ spares) under the event kernel."""
 
@@ -239,6 +298,8 @@ class SimDmvCluster:
         for i in range(num_spares):
             self._add_slave(f"spare{i}", cache_pages, spare=True)
         self.metrics = Metrics()
+        #: Per-slave outbound replication channels (group-commit batching).
+        self._channels: Dict[str, ReplicationChannel] = {}
         self.timelines: List[FailoverTimeline] = []
         self.scheduler_takeovers: List[Tuple[float, float]] = []  # (detected, done)
         self.heartbeat_interval = heartbeat_interval
@@ -383,7 +444,7 @@ class SimDmvCluster:
             node.cpu.release()
         if write_set is not None:
             acks = [
-                self.sim.spawn(self._replicate(write_set, target), name="repl")
+                self._channel(target).send(write_set)
                 for target in self.nodes.values()
                 if target.node_id != node.node_id
                 and target.alive
@@ -404,17 +465,11 @@ class SimDmvCluster:
         yield self.sim.timeout(cfg.rtt())
         return None
 
-    def _replicate(self, write_set, target: InMemoryDbNode):
-        cfg = self.cost.config
-        try:
-            yield self.sim.timeout(cfg.net_delay(write_set.byte_size()))
-            if not target.alive:
-                return False
-            yield target.job(target.receive_write_set(write_set), "recv")
-            yield self.sim.timeout(cfg.net_delay(64))
-            return True
-        except (NodeUnavailable, TransactionAborted):
-            return False
+    def _channel(self, target: InMemoryDbNode) -> ReplicationChannel:
+        channel = self._channels.get(target.node_id)
+        if channel is None:
+            channel = self._channels[target.node_id] = ReplicationChannel(self, target)
+        return channel
 
     # -- failure injection & detection ---------------------------------------------------------
     def kill_node(self, node_id: str) -> None:

@@ -245,10 +245,24 @@ class SyncDmvCluster:
 
     # -- replication plumbing ---------------------------------------------------------------
     def broadcast(self, write_set, exclude: str) -> None:
+        """Deliver one pre-commit write-set to every live slave.
+
+        Embedded mode has no wire, but the accounting matches the simulated
+        tier: one framed batch per slave per commit, with the (memoized)
+        write-set size computed once for the whole broadcast rather than
+        re-encoded per hop.
+        """
+        size = write_set.byte_size()
+        saved = write_set.bytes_saved()
         for handle in self.nodes.values():
             if handle.node_id == exclude or not handle.alive or handle.slave is None:
                 continue
             handle.slave.receive(write_set)
+            handle.counters.add("net.batches")
+            handle.counters.add("net.write_sets_sent")
+            handle.counters.add("net.bytes_shipped", size)
+            if saved:
+                handle.counters.add("net.bytes_saved_delta", saved)
 
     def persist(self) -> None:
         """Drain the scheduler's query log onto the on-disk backends.

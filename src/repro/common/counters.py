@@ -10,7 +10,7 @@ cache hit ratios, and so on.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterable, Iterator, Mapping
 
 
 class Counters:
@@ -40,6 +40,24 @@ class Counters:
 
     def reset(self) -> None:
         self._values.clear()
+
+    def merge_from(self, other: "Counters") -> None:
+        """Accumulate another bag's totals into this one."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    @classmethod
+    def merged(cls, many: Iterable["Counters"]) -> "Counters":
+        """Cluster-wide totals: one bag summing every node's counters.
+
+        The bench harness uses this to report replication-pipeline totals
+        (``net.batches``, ``net.bytes_shipped``, ``net.bytes_saved_delta``,
+        ``slave.ops_coalesced``, ...) across all nodes of a run.
+        """
+        total = cls()
+        for counters in many:
+            total.merge_from(counters)
+        return total
 
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._values.items()))

@@ -24,13 +24,13 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.counters import Counters
-from repro.common.errors import VersionInconsistency
+from repro.common.errors import SchemaError, VersionInconsistency
 from repro.common.ids import NodeId, PageId
 from repro.common.versions import VersionVector
 from repro.engine.engine import AccessController, HeapEngine
 from repro.engine.txn import Transaction, TxnMode
 from repro.storage.checkpoint import PageImage
-from repro.storage.ops import apply_op
+from repro.storage.ops import OpKind, PageOp
 from repro.storage.page import Page
 from repro.core.writeset import WriteSet
 
@@ -92,6 +92,74 @@ class SlaveReplica:
         self.counters.add("slave.ops_buffered", len(write_set.ops))
 
     # -- lazy materialisation ----------------------------------------------------------
+    #
+    # Index entries are maintained eagerly at receive time, so the *only*
+    # job of materialisation is to bring the page image to the target
+    # version.  Intermediate row images are dead work: the queue is
+    # collapsed to the last writer per slot (folding delta ops into each
+    # other or into a preceding full image), turning deep-queue
+    # materialisation from O(ops) page writes into O(slots touched).
+
+    def _coalesce(
+        self, queue: Deque[Tuple[int, PageOp]], target: Optional[int]
+    ) -> Tuple[Dict[int, Tuple[str, object]], int, int]:
+        """Pop ops at-or-below ``target``; return the per-slot plan.
+
+        The plan maps slot -> ("full", row_or_None) | ("delta", {pos: val}).
+        Returns ``(plan, top_version, popped)``.
+        """
+        plan: Dict[int, Tuple[str, object]] = {}
+        top = -1
+        popped = 0
+        while queue:
+            version, op = queue[0]
+            if target is not None and version > target:
+                break
+            queue.popleft()
+            popped += 1
+            if version > top:
+                top = version
+            if op.kind is OpKind.DELETE:
+                plan[op.slot] = ("full", None)
+            elif not op.is_delta:
+                plan[op.slot] = ("full", op.row)
+            else:
+                state = plan.get(op.slot)
+                if state is None:
+                    plan[op.slot] = ("delta", dict(op.delta_items()))
+                elif state[0] == "delta":
+                    state[1].update(op.delta_items())
+                elif state[1] is None:
+                    raise SchemaError(
+                        f"delta update of deleted slot {op.slot} on {op.page_id}"
+                    )
+                else:
+                    plan[op.slot] = ("full", op.apply_delta(state[1]))
+        return plan, top, popped
+
+    def _apply_plan(
+        self, page: Page, plan: Dict[int, Tuple[str, object]], top: int, popped: int
+    ) -> None:
+        for slot, (shape, payload) in plan.items():
+            if shape == "full":
+                page.put(slot, payload)
+            else:
+                base = page.get(slot)
+                if base is None:
+                    raise SchemaError(
+                        f"delta update of empty slot {slot} on {page.page_id}"
+                    )
+                row = list(base)
+                for position, value in payload.items():
+                    row[position] = value
+                page.put(slot, tuple(row))
+        if top > page.version:
+            page.version = top
+        if plan:
+            self.counters.add("slave.ops_applied", len(plan))
+        if popped > len(plan):
+            self.counters.add("slave.ops_coalesced", popped - len(plan))
+
     def materialize(self, page: Page, txn: Transaction) -> None:
         """Bring ``page`` to the version ``txn`` must read.
 
@@ -110,43 +178,34 @@ class SlaveReplica:
         queue = self.pending.get(page.page_id)
         if not queue:
             return
-        applied = 0
-        while queue:
-            version, op = queue[0]
-            if target is not None and version > target:
-                break
-            queue.popleft()
-            apply_op(page, op)
-            page.version = max(page.version, version)
-            applied += 1
-        if applied:
-            self.counters.add("slave.ops_applied", applied)
+        plan, top, popped = self._coalesce(queue, target)
+        if popped:
+            self._apply_plan(page, plan, top, popped)
         if not queue:
             del self.pending[page.page_id]
 
     def apply_all_pending(self) -> int:
-        """Apply every buffered op (promotion / catch-up / checkpoint prep)."""
-        applied = 0
+        """Apply every buffered op (promotion / catch-up / checkpoint prep).
+
+        Returns the number of buffered ops consumed (coalesced-away ops
+        included — callers size promotion work by queue depth).
+        """
+        consumed = 0
         for page_id in list(self.pending):
             page = self.engine.store.get(page_id)
             queue = self.pending.pop(page_id)
-            for version, op in queue:
-                apply_op(page, op)
-                page.version = max(page.version, version)
-                applied += 1
-        if applied:
-            self.counters.add("slave.ops_applied", applied)
-        return applied
+            plan, top, popped = self._coalesce(queue, None)
+            self._apply_plan(page, plan, top, popped)
+            consumed += popped
+        return consumed
 
     def materialize_fully(self, page_id: PageId) -> Page:
         """Apply all pending ops of one page (migration snapshot source)."""
         page = self.engine.store.get(page_id)
         queue = self.pending.pop(page_id, None)
         if queue:
-            for version, op in queue:
-                apply_op(page, op)
-                page.version = max(page.version, version)
-                self.counters.add("slave.ops_applied")
+            plan, top, popped = self._coalesce(queue, None)
+            self._apply_plan(page, plan, top, popped)
         return page
 
     # -- transactions --------------------------------------------------------------------
@@ -186,8 +245,6 @@ class SlaveReplica:
 
     def _revert_index_entries(self, op, version: int) -> None:
         """Inverse of the eager index maintenance done in :meth:`receive`."""
-        from repro.storage.ops import OpKind
-
         table = self.engine.table(op.page_id.table)
         loc = (op.page_id, op.slot)
         schema = table.schema
@@ -204,12 +261,9 @@ class SlaveReplica:
                 )
             table.row_count += 1
         else:
-            for name, cols in table._index_cols.items():
-                old_key = schema.key_of(op.before, cols)
-                new_key = schema.key_of(op.row, cols)
-                if old_key != new_key:
-                    table.indexes[name].remove_committed(new_key, loc, version)
-                    table.indexes[name].unmark_delete_committed(old_key, loc, version)
+            for name, old_key, new_key in table.update_index_keys(op):
+                table.indexes[name].remove_committed(new_key, loc, version)
+                table.indexes[name].unmark_delete_committed(old_key, loc, version)
 
     # -- data migration support ------------------------------------------------------------
     def page_versions(self) -> Dict[PageId, int]:

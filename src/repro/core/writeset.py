@@ -4,6 +4,11 @@ One write-set carries every page-level modification of one committed update
 transaction, plus the per-table commit versions the transaction produced
 (the increment of ``DBVersion``).  Write-sets from one master form a total
 order per table; slaves buffer them per page and apply lazily.
+
+Wire sizes are computed once per write-set and cached on the frozen
+dataclass — a write-set is broadcast to every slave and its size consulted
+per hop, so recomputing per hop would charge encode CPU N times for one
+encode.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.common.ids import NodeId, TxnId
+from repro.storage import ops as _ops
 from repro.storage.ops import PageOp, ops_size
 
 
@@ -26,8 +32,21 @@ class WriteSet:
     versions: Dict[str, int] = field(default_factory=dict)
 
     def byte_size(self) -> int:
-        """Approximate wire size (network cost accounting)."""
-        return 64 + ops_size(self.ops) + 16 * len(self.versions)
+        """Approximate wire size (network cost accounting); memoized."""
+        cached = self.__dict__.get("_byte_size")
+        if cached is None:
+            _ops.ENCODE_STATS["writeset_sizes"] += 1
+            cached = 64 + ops_size(self.ops) + 16 * len(self.versions)
+            object.__setattr__(self, "_byte_size", cached)
+        return cached
+
+    def bytes_saved(self) -> int:
+        """Bytes delta encoding saved vs full-image ops; memoized."""
+        cached = self.__dict__.get("_bytes_saved")
+        if cached is None:
+            cached = sum(_ops.bytes_saved(op) for op in self.ops)
+            object.__setattr__(self, "_bytes_saved", cached)
+        return cached
 
     def tables(self) -> List[str]:
         return sorted(self.versions)

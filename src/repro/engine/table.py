@@ -16,7 +16,7 @@ from repro.common.ids import PageId
 from repro.engine.indexes import Key, Loc, VersionedHashIndex, VersionedTreeIndex
 from repro.engine.schema import TableSchema
 from repro.engine.txn import Transaction, UndoRecord
-from repro.storage.ops import OpKind, PageOp
+from repro.storage.ops import OpKind, PageOp, delta_update_op
 from repro.storage.page import Page, Row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -39,6 +39,11 @@ class Table:
         }
         self._index_cols: Dict[str, Tuple[str, ...]] = {
             idx.name: idx.columns for idx in schema.indexes
+        }
+        #: Column positions per secondary index (delta-encoding fast path).
+        self._index_positions: Dict[str, Tuple[int, ...]] = {
+            idx.name: tuple(schema.position(c) for c in idx.columns)
+            for idx in schema.indexes
         }
         self.row_count = 0
         self._nonfull: List[Page] = []
@@ -83,7 +88,9 @@ class Table:
             raise SchemaError(f"primary key update unsupported on {self.name}")
         page.put(loc[1], after)
         txn.journal.append(UndoRecord(self.name, loc[0], loc[1], before, after))
-        txn.redo.append(PageOp(loc[0], OpKind.UPDATE, loc[1], after, before))
+        txn.redo.append(
+            delta_update_op(loc[0], loc[1], before, after, self._index_positions.values())
+        )
         txn.tables_written.add(self.name)
         for name, cols in self._index_cols.items():
             old_key = self.schema.key_of(before, cols)
@@ -276,6 +283,33 @@ class Table:
                     self.indexes[name].revert_delete(old_key, loc)
 
     # -- slave apply path -----------------------------------------------------------
+    def update_index_keys(self, op: PageOp) -> List[Tuple[str, Tuple, Tuple]]:
+        """``(index, old_key, new_key)`` for indexes an UPDATE op changes.
+
+        Works for both full-image ops (before/after rows present) and
+        delta-encoded ops (changed-column bitmap plus index-relevant
+        before-columns) — the single reconstruction point shared by eager
+        index maintenance and master-failure index rollback.
+        """
+        changed: List[Tuple[str, Tuple, Tuple]] = []
+        if op.is_delta:
+            before_values = dict(op.index_before or ())
+            delta_values = dict(op.delta_items())
+            for name, positions in self._index_positions.items():
+                if not any((op.delta_mask >> p) & 1 for p in positions):
+                    continue  # no key column changed: keys are equal
+                old_key = tuple(before_values[p] for p in positions)
+                new_key = tuple(delta_values.get(p, before_values[p]) for p in positions)
+                if old_key != new_key:
+                    changed.append((name, old_key, new_key))
+        else:
+            for name, cols in self._index_cols.items():
+                old_key = self.schema.key_of(op.before, cols)
+                new_key = self.schema.key_of(op.row, cols)
+                if old_key != new_key:
+                    changed.append((name, old_key, new_key))
+        return changed
+
     def index_apply_committed(self, op: PageOp, version: int) -> None:
         """Eager index maintenance for one committed replicated op."""
         loc: Loc = (op.page_id, op.slot)
@@ -292,12 +326,9 @@ class Table:
                 )
             self.row_count -= 1
         else:
-            for name, cols in self._index_cols.items():
-                old_key = self.schema.key_of(op.before, cols)
-                new_key = self.schema.key_of(op.row, cols)
-                if old_key != new_key:
-                    self.indexes[name].mark_delete_committed(old_key, loc, version)
-                    self.indexes[name].add_committed(new_key, loc, version)
+            for name, old_key, new_key in self.update_index_keys(op):
+                self.indexes[name].mark_delete_committed(old_key, loc, version)
+                self.indexes[name].add_committed(new_key, loc, version)
 
     def bulk_load(self, rows, version: int = 0) -> int:
         """Load committed rows directly, bypassing transaction machinery.

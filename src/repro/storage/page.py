@@ -24,7 +24,7 @@ Row = Tuple
 class Page:
     """A fixed-capacity slotted page holding rows of one table."""
 
-    __slots__ = ("page_id", "capacity", "slots", "version", "live_rows")
+    __slots__ = ("page_id", "capacity", "slots", "version", "live_rows", "_free_hint")
 
     def __init__(self, page_id: PageId, capacity: int = ROWS_PER_PAGE, version: int = 0) -> None:
         self.page_id = page_id
@@ -32,6 +32,9 @@ class Page:
         self.slots: List[Optional[Row]] = [None] * capacity
         self.version = version
         self.live_rows = 0
+        #: Lowest slot that could be free; every slot below it is occupied.
+        #: Keeps hot insert pages from rescanning all slots per allocation.
+        self._free_hint = 0
 
     # -- slot accessors ------------------------------------------------------
     def get(self, slot: int) -> Optional[Row]:
@@ -44,15 +47,25 @@ class Page:
             self.live_rows += 1
         elif before is not None and row is None:
             self.live_rows -= 1
+            if slot < self._free_hint:
+                self._free_hint = slot
         self.slots[slot] = row
 
     def first_free_slot(self) -> Optional[int]:
         if self.live_rows >= self.capacity:
             return None
-        for index, row in enumerate(self.slots):
-            if row is None:
-                return index
-        return None
+        slots = self.slots
+        index = self._free_hint
+        while index < self.capacity and slots[index] is not None:
+            index += 1
+        if index >= self.capacity:  # hint invariant broken externally: rescan
+            index = 0
+            while index < self.capacity and slots[index] is not None:
+                index += 1
+            if index >= self.capacity:
+                return None
+        self._free_hint = index
+        return index
 
     def iter_live(self) -> Iterator[Tuple[int, Row]]:
         """Yield ``(slot, row)`` for every occupied slot."""
@@ -80,6 +93,7 @@ class Page:
         self.slots = list(other.slots)
         self.version = other.version
         self.live_rows = other.live_rows
+        self._free_hint = 0
 
     def byte_size(self) -> int:
         """Approximate wire size of the page (for network cost accounting)."""
