@@ -11,6 +11,7 @@ Run:  python examples/scaling_sweep.py [mix]          (default: shopping)
 import sys
 
 from repro.bench.harness import run_dmv_throughput, run_innodb_throughput
+from repro.bench.report import format_retries
 
 
 def main() -> None:
@@ -25,7 +26,7 @@ def main() -> None:
         run = run_dmv_throughput(mix, n, clients=55 * n, duration=40.0)
         factor = run.wips / innodb if innodb else float("nan")
         print(f"{n:>7} {run.clients:>8} {run.wips:>8.1f} {'x%.1f' % factor:>8} "
-              f"{run.latency_p95:>9.2f}")
+              f"{run.latency_p95:>9.2f}  {format_retries(run.retries_by_reason)}")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ from repro.bench.harness import (
     run_innodb_throughput,
     run_reintegration,
 )
-from repro.bench.report import format_series, format_table
+from repro.bench.report import format_retries, format_series, format_table
 
 __all__ = [
     "BENCH_COST",
@@ -44,4 +44,5 @@ __all__ = [
     "run_reintegration",
     "format_table",
     "format_series",
+    "format_retries",
 ]

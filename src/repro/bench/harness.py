@@ -75,6 +75,9 @@ class ThroughputRun:
     #: counters summed over all nodes); empty for configurations that do
     #: not replicate (stand-alone InnoDB).
     replication: Dict[str, float] = field(default_factory=dict)
+    #: Client-side retries broken down by abort reason (deadlock,
+    #: node-failure, reconfig-deadline, ...).
+    retries_by_reason: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_shipped(self) -> float:
@@ -97,6 +100,14 @@ REPLICATION_COUNTERS = (
     "slave.ops_buffered",
     "slave.ops_applied",
     "slave.ops_coalesced",
+    # Chaos / fault-path counters: all zero on a healthy run, so they
+    # double as a "nothing went wrong" assertion in bench output.
+    "net.drops",
+    "net.retransmits",
+    "net.dups_ignored",
+    "net.suspicions",
+    "sched.queued_updates",
+    "sched.deadline_rejects",
 )
 
 
@@ -104,7 +115,11 @@ def replication_totals(cluster) -> Dict[str, float]:
     """Sum the replication fast-path counters over every node of a run."""
     from repro.common.counters import Counters
 
-    merged = Counters.merged(node.counters for node in cluster.nodes.values())
+    sources = [node.counters for node in cluster.nodes.values()]
+    cluster_counters = getattr(cluster, "counters", None)
+    if cluster_counters is not None:
+        sources.append(cluster_counters)
+    merged = Counters.merged(sources)
     return {name: merged.get(name) for name in REPLICATION_COUNTERS}
 
 
@@ -159,6 +174,7 @@ def run_dmv_throughput(
     return ThroughputRun(
         clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed,
         replication=replication_totals(cluster),
+        retries_by_reason=dict(cluster.metrics.aborts_by_reason),
     )
 
 
@@ -185,7 +201,8 @@ def run_innodb_throughput(
     cluster.start_browsers(clients, MIXES[mix_name], scale, think_time_mean=think_time)
     wips, lat = _measure(cluster, duration)
     return ThroughputRun(
-        clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed
+        clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed,
+        retries_by_reason=dict(cluster.metrics.aborts_by_reason),
     )
 
 

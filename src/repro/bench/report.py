@@ -14,6 +14,16 @@ def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[obj
     return f"\n{title}\n{bar}\n{body}\n"
 
 
+def format_retries(retries_by_reason) -> str:
+    """One-line retry breakdown for a bench summary (``-`` when clean)."""
+    if not retries_by_reason:
+        return "retries: -"
+    parts = ", ".join(
+        f"{reason}={count}" for reason, count in sorted(retries_by_reason.items())
+    )
+    return f"retries: {parts}"
+
+
 def format_series(title: str, series: TimeSeries, width: int = 50, unit: str = "") -> str:
     """An ASCII sparkline table of a time series (paper-style figure)."""
     lines = [f"\n{title}", "=" * max(len(title), 8)]

@@ -1,0 +1,57 @@
+"""Chaos layer: deterministic fault injection and cluster invariant checking.
+
+The paper's continuous-availability claims (§4.1–4.5) are about behaviour
+under *messy* failures, not just clean scheduled kills.  This package adds:
+
+* :mod:`repro.chaos.network` — a per-link lossy-network model (drop,
+  duplication, extra delay, partitions) consulted by the replication
+  channels and scheduler RPCs;
+* :mod:`repro.chaos.faults` — seeded, declarative fault plans that schedule
+  node crashes, reintegrations, scheduler kills, link faults and healed
+  partitions against a running cluster;
+* :mod:`repro.chaos.invariants` — Jepsen-lite post-quiescence checkers
+  (durability, version convergence, snapshot consistency, write-set
+  conservation);
+* :mod:`repro.chaos.scenario` — the seeded end-to-end chaos scenario runner
+  whose metric fingerprint replays identically from its printed seed.
+"""
+
+from repro.chaos.faults import (
+    CrashNode,
+    CrashScheduler,
+    FaultPlan,
+    LinkFault,
+    Partition,
+    ReintegrateNode,
+)
+from repro.chaos.invariants import (
+    InvariantResult,
+    check_all_invariants,
+    check_counter_conservation,
+    check_durable_commits,
+    check_replica_convergence,
+    check_snapshot_consistency,
+)
+from repro.chaos.network import ANY, LinkState, NetworkModel
+from repro.chaos.scenario import ChaosReport, default_chaos_plan, run_chaos_scenario
+
+__all__ = [
+    "ANY",
+    "ChaosReport",
+    "CrashNode",
+    "CrashScheduler",
+    "FaultPlan",
+    "InvariantResult",
+    "LinkFault",
+    "LinkState",
+    "NetworkModel",
+    "Partition",
+    "ReintegrateNode",
+    "check_all_invariants",
+    "check_counter_conservation",
+    "check_durable_commits",
+    "check_replica_convergence",
+    "check_snapshot_consistency",
+    "default_chaos_plan",
+    "run_chaos_scenario",
+]

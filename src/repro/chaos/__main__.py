@@ -1,0 +1,63 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.chaos [--seed N]``.
+
+Runs one seeded chaos scenario, prints the report (fault plan, client
+metrics, chaos counters, invariant verdicts, fingerprint) and exits
+non-zero if any invariant failed — the CI chaos-smoke contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.scenario import run_chaos_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.chaos", description="Run one seeded chaos scenario."
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--duration", type=float, default=200.0, help="virtual seconds")
+    parser.add_argument("--browsers", type=int, default=16, help="emulated browsers")
+    parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
+    parser.add_argument(
+        "--min-commits",
+        type=int,
+        default=0,
+        help="fail unless at least this many interactions completed",
+    )
+    parser.add_argument(
+        "--expect-fingerprint",
+        default=None,
+        help="fail unless the metrics fingerprint matches (reproducibility gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_chaos_scenario(
+        seed=args.seed,
+        duration=args.duration,
+        browsers=args.browsers,
+        mix_name=args.mix,
+    )
+    print(report.summary())
+    ok = report.ok()
+    if args.min_commits and report.completed < args.min_commits:
+        print(f"FAIL: only {report.completed} commits (< {args.min_commits})")
+        ok = False
+    if report.counters.get("net.retransmits", 0) <= 0:
+        print("FAIL: chaos run exercised no retransmissions")
+        ok = False
+    if report.counters.get("net.dups_ignored", 0) <= 0:
+        print("FAIL: chaos run exercised no duplicate filtering")
+        ok = False
+    if args.expect_fingerprint and report.fingerprint != args.expect_fingerprint:
+        print(
+            f"FAIL: fingerprint {report.fingerprint} != expected {args.expect_fingerprint}"
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

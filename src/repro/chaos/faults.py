@@ -1,0 +1,188 @@
+"""Seeded, declarative fault plans.
+
+A :class:`FaultPlan` is a value object — an ordered tuple of fault events,
+each pinned to a virtual time — that :meth:`FaultPlan.schedule` installs
+onto a running :class:`~repro.cluster.simcluster.SimDmvCluster`.  Because
+the simulation kernel and the network model's dice are both seeded, one
+``(plan, seed)`` pair names exactly one execution: re-running it reproduces
+every drop, retransmission, crash and reconfiguration at the same instants.
+
+:meth:`FaultPlan.random` derives a randomised crash/reintegration schedule
+from a seed via :mod:`repro.common.rng` for soak testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.common.rng import RngStream
+from repro.chaos.network import ANY
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Fail-stop one database node at ``at``."""
+
+    at: float
+    node_id: str
+
+    def install(self, cluster) -> None:
+        cluster.kill_node_at(self.node_id, self.at)
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s crash node {self.node_id}"
+
+
+@dataclass(frozen=True)
+class ReintegrateNode:
+    """Reboot + data-migrate a previously crashed node back in at ``at``."""
+
+    at: float
+    node_id: str
+    spare: bool = False
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.reintegrate,
+            self.node_id,
+            None,
+            self.spare,
+        )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s reintegrate node {self.node_id}"
+
+
+@dataclass(frozen=True)
+class CrashScheduler:
+    """Kill one scheduler agent at ``at`` (peers take over, §4.1)."""
+
+    at: float
+    agent_id: str
+
+    def install(self, cluster) -> None:
+        cluster.kill_scheduler_at(self.agent_id, self.at)
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s crash scheduler {self.agent_id}"
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Make matching links lossy from ``at`` until ``until`` (None = forever)."""
+
+    at: float
+    source: str = ANY
+    target: str = ANY
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    extra_delay_mean: float = 0.0
+    until: Optional[float] = None
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.net.set_fault,
+            self.source,
+            self.target,
+            self.drop_p,
+            self.dup_p,
+            self.extra_delay_mean,
+        )
+        if self.until is not None:
+            cluster.sim.schedule(
+                max(0.0, self.until - cluster.sim.now()),
+                cluster.net.clear_fault,
+                self.source,
+                self.target,
+            )
+
+    def describe(self) -> str:
+        window = f"..{self.until:g}s" if self.until is not None else ".."
+        return (
+            f"t={self.at:g}s{window} link {self.source}->{self.target} "
+            f"drop={self.drop_p:g} dup={self.dup_p:g} delay={self.extra_delay_mean:g}"
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut every link between two endpoint groups, healing at ``heal_at``."""
+
+    at: float
+    heal_at: float
+    group_a: Tuple[str, ...]
+    group_b: Tuple[str, ...]
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.net.partition,
+            self.group_a,
+            self.group_b,
+        )
+        cluster.sim.schedule(
+            max(0.0, self.heal_at - cluster.sim.now()),
+            cluster.net.heal,
+            self.group_a,
+            self.group_b,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"t={self.at:g}..{self.heal_at:g}s partition "
+            f"{list(self.group_a)} | {list(self.group_b)}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of fault events."""
+
+    seed: int = 0
+    events: Tuple = ()
+
+    def schedule(self, cluster) -> "FaultPlan":
+        """Install every event onto the cluster's event kernel."""
+        for event in self.events:
+            event.install(cluster)
+        return self
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed={self.seed}, {len(self.events)} events)"]
+        lines.extend(f"  - {event.describe()}" for event in self.events)
+        return "\n".join(lines)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        node_ids: Sequence[str],
+        horizon: float,
+        crashes: int = 2,
+        reintegrate_after: float = 30.0,
+        drop_p: float = 0.05,
+        dup_p: float = 0.01,
+        settle_window: float = 60.0,
+    ) -> "FaultPlan":
+        """Derive a randomised crash/reintegrate soak schedule from ``seed``.
+
+        Crash times land in the first ``horizon - settle_window`` seconds so
+        every reconfiguration finishes before quiescence measurement; each
+        crashed node is reintegrated ``reintegrate_after`` seconds later.
+        """
+        rng = RngStream(seed, "fault-plan")
+        events = [LinkFault(at=0.0, drop_p=drop_p, dup_p=dup_p)]
+        window = max(1.0, horizon - settle_window - reintegrate_after)
+        victims = list(node_ids)
+        rng.shuffle(victims)
+        for victim in victims[: max(0, crashes)]:
+            at = rng.uniform(10.0, window)
+            events.append(CrashNode(at=at, node_id=victim))
+            events.append(
+                ReintegrateNode(at=at + reintegrate_after, node_id=victim)
+            )
+        events.sort(key=lambda e: e.at)
+        return cls(seed=seed, events=tuple(events))

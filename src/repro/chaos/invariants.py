@@ -1,0 +1,189 @@
+"""Jepsen-lite cluster invariant checkers (run after quiescence).
+
+Each checker audits one safety property of the DMV replication protocol
+after a chaos run has stopped its workload and drained in-flight work:
+
+* **durable-commits** — no browser-acknowledged commit is lost: every
+  entry of the cluster's commit log is covered by the replicated state of
+  every alive, subscribed, caught-up replica.
+* **replica-convergence** — the per-table version watermarks of all alive
+  subscribed replicas agree (eager propagation + retransmission converged).
+* **snapshot-consistency** — stronger than version agreement: fully
+  materialised table *contents* are byte-identical across replicas (a
+  sampled read at the latest snapshot returns the same rows everywhere).
+* **counter-conservation** — every write-set transmission is accounted
+  for exactly once: ``net.write_sets_sent == slave.write_sets_received +
+  net.dups_ignored + net.drops`` over the merged per-node counters.
+
+Checkers only inspect *alive* replicas: the fail-stop model (an
+unreachable node is a failed node, and is killed by suspicion) means dead
+nodes carry no obligations until they reintegrate — at which point data
+migration restores them and the invariants apply again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.counters import Counters
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "OK  " if self.ok else "FAIL"
+        return f"[{status}] {self.name}" + (f": {self.detail}" if self.detail else "")
+
+
+def _checked_nodes(cluster) -> List:
+    """Replicas that carry invariant obligations right now."""
+    return [
+        node
+        for node in cluster.nodes.values()
+        if node.alive
+        and node.subscribed
+        and node.slave is not None
+        and not node.slave.catching_up
+    ]
+
+
+def _table_watermark(node, table: str) -> int:
+    """Highest version of ``table`` this node is known to hold.
+
+    The received-versions vector is the primary source; page versions
+    (including pending-queue headroom) cover reintegrated nodes whose
+    migrated pages are newer than anything they received since rejoining.
+    A co-located master role contributes its engine versions.
+    """
+    best = 0
+    if node.slave is not None:
+        best = max(best, node.slave.received_versions.get(table))
+        for page_id, version in node.slave.page_versions().items():
+            if page_id.table == table and version > best:
+                best = version
+    if node.master is not None:
+        best = max(best, node.master.current_versions().get(table))
+    return best
+
+
+def check_durable_commits(cluster) -> InvariantResult:
+    """Every scheduler-confirmed commit survives on every alive replica."""
+    nodes = _checked_nodes(cluster)
+    missing: List[str] = []
+    for master_id, txn_id, versions in cluster.commit_log:
+        for node in nodes:
+            for table, version in versions.items():
+                have = _table_watermark(node, table)
+                if have < version:
+                    missing.append(
+                        f"txn {txn_id} ({master_id}, {table}=v{version}) "
+                        f"absent on {node.node_id} (at v{have})"
+                    )
+    detail = f"{len(cluster.commit_log)} commits audited on {len(nodes)} replicas"
+    if missing:
+        shown = "; ".join(missing[:5])
+        extra = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+        return InvariantResult("durable-commits", False, f"{shown}{extra}")
+    return InvariantResult("durable-commits", True, detail)
+
+
+def check_replica_convergence(cluster) -> InvariantResult:
+    """All alive subscribed replicas agree on every table's watermark."""
+    nodes = _checked_nodes(cluster)
+    if len(nodes) < 2:
+        return InvariantResult(
+            "replica-convergence", True, f"{len(nodes)} replica(s): trivially converged"
+        )
+    tables = sorted({schema.name for schema in cluster.schemas})
+    diverged: List[str] = []
+    for table in tables:
+        marks = {node.node_id: _table_watermark(node, table) for node in nodes}
+        if len(set(marks.values())) > 1:
+            diverged.append(f"{table}: {marks}")
+    if diverged:
+        return InvariantResult("replica-convergence", False, "; ".join(diverged[:3]))
+    return InvariantResult(
+        "replica-convergence", True, f"{len(nodes)} replicas agree on {len(tables)} tables"
+    )
+
+
+def _table_digest(node, table: str) -> str:
+    """Hash of the fully-materialised contents of ``table`` on ``node``."""
+    digest = hashlib.sha256()
+    pages = [p for p in node.engine.store.all_pages() if p.page_id.table == table]
+    for page in sorted(pages, key=lambda p: str(p.page_id)):
+        full = node.slave.materialize_fully(page.page_id)
+        for slot, row in full.iter_live():
+            digest.update(repr((str(page.page_id), slot, row)).encode())
+    return digest.hexdigest()[:16]
+
+
+def check_snapshot_consistency(
+    cluster, sample_tables: Optional[Sequence[str]] = None
+) -> InvariantResult:
+    """Materialised table contents are identical across alive replicas.
+
+    Destructive in the harmless sense: it applies all pending ops (a read
+    of the newest snapshot would do the same), so it must run after the
+    workload has quiesced, as the last sampled read of the experiment.
+    """
+    nodes = _checked_nodes(cluster)
+    if len(nodes) < 2:
+        return InvariantResult(
+            "snapshot-consistency", True, f"{len(nodes)} replica(s): trivially consistent"
+        )
+    tables = list(sample_tables) if sample_tables else sorted(
+        schema.name for schema in cluster.schemas
+    )
+    mismatched: List[str] = []
+    for table in tables:
+        digests = {node.node_id: _table_digest(node, table) for node in nodes}
+        if len(set(digests.values())) > 1:
+            mismatched.append(f"{table}: {digests}")
+    if mismatched:
+        return InvariantResult("snapshot-consistency", False, "; ".join(mismatched[:3]))
+    return InvariantResult(
+        "snapshot-consistency",
+        True,
+        f"{len(tables)} tables content-identical on {len(nodes)} replicas",
+    )
+
+
+def check_counter_conservation(cluster) -> InvariantResult:
+    """sent == received + dups_ignored + drops over merged node counters."""
+    merged = Counters.merged(
+        [node.counters for node in cluster.nodes.values()] + [cluster.counters]
+    )
+    sent = merged.get("net.write_sets_sent")
+    received = merged.get("slave.write_sets_received")
+    dups = merged.get("net.dups_ignored")
+    drops = merged.get("net.drops")
+    balance = received + dups + drops
+    detail = (
+        f"sent={sent:g} received={received:g} dups_ignored={dups:g} drops={drops:g}"
+    )
+    if sent != balance:
+        return InvariantResult(
+            "counter-conservation", False, f"{detail} (off by {sent - balance:g})"
+        )
+    return InvariantResult("counter-conservation", True, detail)
+
+
+def check_all_invariants(
+    cluster, sample_tables: Optional[Sequence[str]] = None
+) -> List[InvariantResult]:
+    """Run every checker; returns all results (failures included)."""
+    return [
+        check_durable_commits(cluster),
+        check_replica_convergence(cluster),
+        check_snapshot_consistency(cluster, sample_tables),
+        check_counter_conservation(cluster),
+    ]

@@ -1,0 +1,174 @@
+"""Seeded end-to-end chaos scenarios: workload + fault plan + invariants.
+
+A scenario builds a TPC-W-driven :class:`SimDmvCluster`, installs a
+:class:`~repro.chaos.faults.FaultPlan`, runs the workload through the fault
+schedule, quiesces the browsers, and audits the cluster with the
+:mod:`~repro.chaos.invariants` checkers.  Everything is derived from one
+seed, and the report carries a fingerprint over every counter: rerunning
+``run_chaos_scenario(seed=S)`` must reproduce the fingerprint bit-for-bit,
+which is what the seeded soak test and the CI smoke job assert.
+
+Run one from the command line::
+
+    PYTHONPATH=src python -m repro.chaos --seed 7
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.faults import (
+    CrashNode,
+    FaultPlan,
+    LinkFault,
+    Partition,
+    ReintegrateNode,
+)
+from repro.chaos.invariants import InvariantResult, check_all_invariants
+from repro.common.counters import Counters
+
+#: Counters surfaced in the report (and by the bench harness summary).
+CHAOS_COUNTERS = (
+    "net.write_sets_sent",
+    "slave.write_sets_received",
+    "net.drops",
+    "net.retransmits",
+    "net.dups_ignored",
+    "net.bytes_dropped",
+    "net.sched_state_drops",
+    "net.suspicions",
+    "sched.queued_updates",
+    "sched.deadline_rejects",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced (printable, assertable)."""
+
+    seed: int
+    plan: FaultPlan
+    duration: float
+    completed: int
+    retried: int
+    failed: int
+    invariants: List[InvariantResult] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Stable hash over all merged counters + client metrics; identical for
+    #: identical ``(seed, plan, workload)`` inputs.
+    fingerprint: str = ""
+    retries_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def ok(self) -> bool:
+        return all(result.ok for result in self.invariants)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos run seed={self.seed} duration={self.duration:g}s "
+            f"fingerprint={self.fingerprint}",
+            self.plan.describe(),
+            f"clients: completed={self.completed} retried={self.retried} "
+            f"failed={self.failed}",
+        ]
+        if self.retries_by_reason:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.retries_by_reason.items())
+            )
+            lines.append(f"retries by reason: {reasons}")
+        lines.append(
+            "chaos counters: "
+            + " ".join(f"{name}={self.counters.get(name, 0):g}" for name in CHAOS_COUNTERS)
+        )
+        lines.extend(str(result) for result in self.invariants)
+        lines.append("invariants: " + ("ALL OK" if self.ok() else "FAILURES"))
+        return "\n".join(lines)
+
+
+def default_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """The canonical smoke schedule: lossy fabric, healed partition, master
+    kill mid-workload, reintegration — all resolved before quiescence.
+
+    * 5 % drop + 1 % duplication on every link from the start (cleared
+      20 s before the end so retransmissions drain);
+    * a master↔slave partition at 15 % of the run, healed 10 s later (the
+      retransmission budget outlasts it, so nobody is evicted);
+    * the master crashes at 40 % — mid-broadcast for whatever commits are
+      in flight — forcing election, promotion and cleanup under loss;
+    * the old master reintegrates at 70 % via data migration.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.05, dup_p=0.01, until=t(0.9)),
+            Partition(at=t(0.15), heal_at=t(0.15) + 10.0, group_a=("m0",), group_b=("s1",)),
+            CrashNode(at=t(0.4), node_id="m0"),
+            ReintegrateNode(at=t(0.7), node_id="m0"),
+        ),
+    )
+
+
+def run_chaos_scenario(
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    duration: float = 200.0,
+    settle: float = 25.0,
+    browsers: int = 16,
+    mix_name: str = "ordering",
+    think_time: float = 0.3,
+    num_slaves: int = 3,
+    num_schedulers: int = 2,
+    scale=None,
+) -> ChaosReport:
+    """Run one seeded chaos scenario end to end and audit the wreckage.
+
+    The browsers stop ``settle`` seconds before ``duration``; the remaining
+    window drains in-flight interactions, retransmissions and
+    reconfigurations so the invariant checkers observe a quiescent cluster.
+    """
+    # Imported lazily: the cluster module itself uses repro.chaos.network,
+    # so importing it at module scope would cycle through the package init.
+    from repro.cluster.simcluster import SimDmvCluster
+    from repro.tpcw.datagen import TpcwDataGenerator
+    from repro.tpcw.mixes import MIXES
+    from repro.tpcw.schema import TPCW_SCHEMAS, TpcwScale
+
+    if scale is None:
+        scale = TpcwScale(num_items=80, num_customers=230)
+    if plan is None:
+        plan = default_chaos_plan(seed, duration)
+    cluster = SimDmvCluster(
+        TPCW_SCHEMAS,
+        num_slaves=num_slaves,
+        num_schedulers=num_schedulers,
+        seed=seed,
+    )
+    cluster.load(TpcwDataGenerator(scale, seed=11))
+    cluster.warm_all_caches()
+    plan.schedule(cluster)
+    cluster.start_browsers(browsers, MIXES[mix_name], scale, think_time_mean=think_time)
+    cluster.sim.schedule(max(0.0, duration - settle), cluster.stop_browsers)
+    cluster.run(until=duration)
+
+    invariants = check_all_invariants(cluster)
+    merged = Counters.merged(
+        [node.counters for node in cluster.nodes.values()] + [cluster.counters]
+    )
+    metrics = cluster.metrics
+    merged.add("metrics.completed", metrics.completed)
+    merged.add("metrics.retried", metrics.retried)
+    merged.add("metrics.failed", metrics.failed)
+    return ChaosReport(
+        seed=seed,
+        plan=plan,
+        duration=duration,
+        completed=metrics.completed,
+        retried=metrics.retried,
+        failed=metrics.failed,
+        invariants=invariants,
+        counters=merged.snapshot(),
+        fingerprint=merged.fingerprint(),
+        retries_by_reason=dict(metrics.aborts_by_reason),
+    )

@@ -44,6 +44,24 @@ class CostConfig:
     net_frame_bytes: int = 24
     #: Size of the (piggybacked) per-batch acknowledgement frame.
     net_ack_bytes: int = 64
+    # -- lossy-network recovery (chaos layer) ------------------------------------------------
+    #: First master-side ack timeout; doubles per retransmission attempt.
+    #: Must exceed a healthy batch round trip or clean links would spuriously
+    #: retransmit.
+    ack_timeout_base: float = 0.1
+    #: Ceiling on the exponential ack-timeout/backoff growth.
+    retransmit_backoff_cap: float = 2.0
+    #: Send attempts per write-set before the unreachable slave is suspected
+    #: failed and evicted (fail-stop suspicion).
+    retransmit_limit: int = 10
+    #: Graceful degradation: how long an update transaction may queue while
+    #: its conflict class's master is being reconfigured before it is
+    #: rejected with a deadline error.
+    update_queue_deadline: float = 15.0
+    #: Browser retry backoff: first delay and ceiling of the per-browser
+    #: jittered exponential backoff.
+    browser_backoff_base: float = 0.05
+    browser_backoff_cap: float = 5.0
     # -- node shape --------------------------------------------------------------------------
     cores_per_node: int = 2
     # -- reconfiguration --------------------------------------------------------------------------

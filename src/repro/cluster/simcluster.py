@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.network import NetworkModel
+from repro.common.counters import Counters
 from repro.common.errors import NodeUnavailable, TransactionAborted
 from repro.common.rng import RngStream
 from repro.cluster.costs import CostConfig, CostModel
@@ -80,15 +82,15 @@ class SimConnection(Connection):
         return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
 
     def begin_update(self, tables: Sequence[str]):
-        master_id = self.cluster.scheduler.route_update(list(tables))
-        node = self.cluster.node(master_id)
-        if node.master is None:
-            raise NodeUnavailable(f"{master_id} is not serving as master yet")
-        self._node = node
         self._is_update = True
         self._queries = []
+        return self.cluster.sim.spawn(self._begin_update(list(tables)), name="begin-update")
+
+    def _begin_update(self, tables: List[str]):
+        node = yield from self.cluster.acquire_master(tables)
+        self._node = node
         self._txn = node.master.begin_update(write_tables=tables)
-        return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
+        yield self.cluster.sim.timeout(self.cluster.cost.config.rtt())
 
     def query(self, sql: str, params: Sequence = ()):
         node, txn = self._node, self._txn
@@ -172,6 +174,17 @@ class SchedulerAgent:
     ready: bool = True  # False while a takeover is resynchronising
 
 
+class PendingSend:
+    """One write-set in flight on a replication channel (ack + attempt count)."""
+
+    __slots__ = ("write_set", "ack", "attempts")
+
+    def __init__(self, write_set, ack) -> None:
+        self.write_set = write_set
+        self.ack = ack
+        self.attempts = 0
+
+
 class ReplicationChannel:
     """Outbound master->slave link with group-commit broadcast batching.
 
@@ -181,54 +194,169 @@ class ReplicationChannel:
     charge per write-set, and the per-write-set acks come back piggybacked
     on a single ack frame.  Under a loaded master this is classic group
     commit — the deeper the commit concurrency, the bigger the batches.
+
+    When the chaos layer makes the link lossy, the channel adds the
+    reliability sub-protocol: a per-write-set ack timeout with bounded
+    exponential-backoff retransmission (lost data frames AND lost ack
+    frames both trigger it), and fail-stop suspicion of the target after
+    ``retransmit_limit`` attempts.  Slaves deduplicate by write-set
+    identity, so retransmission is idempotent.  On a clean link none of
+    this machinery runs and the timing is identical to the fast path.
     """
 
-    def __init__(self, cluster: "SimDmvCluster", target: "InMemoryDbNode") -> None:
+    def __init__(
+        self, cluster: "SimDmvCluster", source_id: str, target: "InMemoryDbNode"
+    ) -> None:
         self.cluster = cluster
+        self.source_id = source_id
         self.target = target
-        self._outbox: List[Tuple[object, object]] = []  # (write_set, ack event)
+        self._outbox: List[PendingSend] = []
         self._busy = False
 
     def send(self, write_set):
         """Queue one write-set; returns the event its ack will trigger."""
-        ack = self.cluster.sim.event()
-        self._outbox.append((write_set, ack))
+        pending = PendingSend(write_set, self.cluster.sim.event())
+        self._outbox.append(pending)
+        self._kick()
+        return pending.ack
+
+    def _kick(self) -> None:
         if not self._busy:
             self._busy = True
-            self.cluster.sim.spawn(self._drain(), name=f"repl:{self.target.node_id}")
-        return ack
+            self.cluster.sim.spawn(
+                self._drain(), name=f"repl:{self.source_id}->{self.target.node_id}"
+            )
+
+    @staticmethod
+    def _finish(pending: PendingSend, ok: bool) -> None:
+        if not pending.ack.triggered:
+            pending.ack.succeed(ok)
+
+    def _drop(self, pending: PendingSend, counters) -> None:
+        counters.add("net.drops")
+        counters.add("net.bytes_dropped", pending.write_set.byte_size())
 
     def _drain(self):
-        cfg = self.cluster.cost.config
+        cluster = self.cluster
+        cfg = cluster.cost.config
+        sim = cluster.sim
+        target = self.target
+        counters = target.counters
         try:
             while self._outbox:
                 batch, self._outbox = self._outbox, []
-                payload = sum(ws.byte_size() for ws, _ack in batch)
-                counters = self.target.counters
+                if not target.alive or target.slave is None:
+                    # Fail fast on a dead (or promoted) target: no payload
+                    # bytes and no batch delay are charged — the attempts
+                    # count as sent-and-dropped so conservation holds.
+                    for pending in batch:
+                        counters.add("net.write_sets_sent")
+                        self._drop(pending, counters)
+                        self._finish(pending, False)
+                    continue
+                link = cluster.net.link(self.source_id, target.node_id)
+                back = cluster.net.link(target.node_id, self.source_id)
+                lossy = link.lossy or back.lossy
+                payload = sum(p.write_set.byte_size() for p in batch)
                 counters.add("net.batches")
-                counters.add("net.write_sets_sent", len(batch))
                 counters.add("net.bytes_shipped", cfg.batch_bytes(payload, len(batch)))
-                saved = sum(ws.bytes_saved() for ws, _ack in batch)
+                saved = sum(p.write_set.bytes_saved() for p in batch)
                 if saved:
                     counters.add("net.bytes_saved_delta", saved)
-                yield self.cluster.sim.timeout(cfg.batch_delay(payload, len(batch)))
-                delivered = []
-                for ws, ack in batch:
-                    if not self.target.alive:
-                        ack.succeed(False)
+                delay = cfg.batch_delay(payload, len(batch))
+                if lossy:
+                    delay += link.extra_delay()
+                yield sim.timeout(delay)
+                delivered: List[PendingSend] = []
+                requeue: List[PendingSend] = []
+                for idx, pending in enumerate(batch):
+                    counters.add("net.write_sets_sent")
+                    if lossy and link.drops():
+                        # Data frame lost in flight.  Slaves apply write-sets
+                        # (and maintain indexes) strictly in version order,
+                        # so the stream truncates here: the lost frame AND
+                        # everything queued behind it go back for in-order
+                        # retransmission (go-back-N, not selective repeat).
+                        self._drop(pending, counters)
+                        requeue = batch[idx:]
+                        break
+                    outcome = target.deliver_write_set(pending.write_set)
+                    if outcome == "dead":
+                        self._drop(pending, counters)
+                        self._finish(pending, False)
                         continue
-                    try:
-                        yield self.target.job(self.target.receive_write_set(ws), "recv")
-                    except (NodeUnavailable, TransactionAborted):
-                        ack.succeed(False)
-                        continue
-                    delivered.append(ack)
+                    if lossy and link.duplicates():
+                        # The network duplicated the frame: the extra copy
+                        # is a real transmission the slave must filter.
+                        counters.add("net.write_sets_sent")
+                        target.deliver_write_set(pending.write_set)
+                    if outcome == "ok":
+                        try:
+                            yield target.job(
+                                target.receive_cost(len(pending.write_set.ops)), "recv"
+                            )
+                        except (NodeUnavailable, TransactionAborted):
+                            # Died during the receive charge; the write-set
+                            # was buffered (counted received) but the ack is
+                            # lost with the node.
+                            self._finish(pending, False)
+                            continue
+                    delivered.append(pending)
                 if delivered:
-                    yield self.cluster.sim.timeout(cfg.net_delay(cfg.net_ack_bytes))
-                    for ack in delivered:
-                        ack.succeed(True)
+                    ack_lost = lossy and back.drops()
+                    ack_delay = cfg.net_delay(cfg.net_ack_bytes)
+                    if lossy:
+                        ack_delay += back.extra_delay()
+                    yield sim.timeout(ack_delay)
+                    if ack_lost:
+                        # Piggybacked ack frame lost: the master times out
+                        # and retransmits; the slave's duplicate filter
+                        # absorbs the re-deliveries.  The unacked frames
+                        # precede any lost tail in stream order.
+                        requeue = delivered + requeue
+                    else:
+                        for pending in delivered:
+                            self._finish(pending, True)
+                if requeue:
+                    yield from self._backoff_and_requeue(requeue)
         finally:
             self._busy = False
+
+    # -- ack timeout + retransmission -------------------------------------------------
+    def _ack_timeout(self, attempts: int) -> float:
+        cfg = self.cluster.cost.config
+        return min(cfg.ack_timeout_base * (2 ** (attempts - 1)), cfg.retransmit_backoff_cap)
+
+    def _backoff_and_requeue(self, requeue: List[PendingSend]):
+        """Wait the ack timeout, then retransmit ``requeue`` ahead of the
+        outbox (stream order preserved).  Runs inside the drain process, so
+        sends issued while backing off queue up behind the retransmissions.
+        """
+        cluster = self.cluster
+        cfg = cluster.cost.config
+        for pending in requeue:
+            pending.attempts += 1
+        if any(p.attempts >= cfg.retransmit_limit for p in requeue):
+            # Retransmission budget exhausted: declare the target failed
+            # (fail-stop suspicion) so reconfiguration takes over.
+            for pending in requeue:
+                self._finish(pending, False)
+            cluster.suspect_node(self.target.node_id)
+            return
+        yield cluster.sim.timeout(
+            self._ack_timeout(max(p.attempts for p in requeue))
+        )
+        source = cluster.nodes.get(self.source_id)
+        if source is None or not source.alive:
+            # The sending master died while the timer was pending; its
+            # commits are failing anyway.
+            for pending in requeue:
+                self._finish(pending, False)
+            return
+        live = [p for p in requeue if not p.ack.triggered]
+        if live:
+            self.target.counters.add("net.retransmits", len(live))
+            self._outbox[:0] = live
 
 
 class SimDmvCluster:
@@ -257,6 +385,10 @@ class SimDmvCluster:
         self.schemas = list(schemas)
         self.cost = CostModel(cost_config if cost_config is not None else CostConfig())
         self.rng = RngStream(seed, "simcluster")
+        #: Lossy-network model (clean unless a fault plan touches it).
+        self.net = NetworkModel(self.rng.child("net"))
+        #: Cluster-level counters (scheduler queueing, suspicions, RPC loss).
+        self.counters = Counters()
         table_names = [s.name for s in self.schemas]
         if conflict_map is None:
             conflict_map = ConflictClassMap.single_class(table_names)
@@ -298,14 +430,27 @@ class SimDmvCluster:
         for i in range(num_spares):
             self._add_slave(f"spare{i}", cache_pages, spare=True)
         self.metrics = Metrics()
-        #: Per-slave outbound replication channels (group-commit batching).
-        self._channels: Dict[str, ReplicationChannel] = {}
+        #: Per-(master, slave) outbound replication channels (group-commit
+        #: batching + lossy-link retransmission).
+        self._channels: Dict[Tuple[str, str], ReplicationChannel] = {}
         self.timelines: List[FailoverTimeline] = []
         self.scheduler_takeovers: List[Tuple[float, float]] = []  # (detected, done)
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
         self._handled_failures: set = set()
+        #: Failure-detector miss counts; cleared when a node reintegrates so
+        #: a second failure of the same node is re-detected.
+        self._missed: Dict[str, int] = {}
+        #: Masters currently mid-reconfiguration (graceful-degradation
+        #: window) and masters whose reconfiguration found no successor.
+        self._reconfiguring: set = set()
+        self._reconfig_dead_ends: set = set()
+        self._update_waiters: List = []
+        #: Confirmed commits (master, txn, versions) — the browser-acked
+        #: history the chaos durability invariant checks against survivors.
+        self.commit_log: List[Tuple[str, int, Dict[str, int]]] = []
         self._browsers: List = []
+        self._stop_browsers = False
         self.sim.spawn(self._failure_detector(), name="failure-detector")
         if checkpoint_period > 0:
             self.sim.spawn(self._checkpoint_daemon(checkpoint_period), name="checkpointer")
@@ -339,13 +484,24 @@ class SimDmvCluster:
         return [a for a in self.schedulers if a.alive]
 
     def _replicate_scheduler_state(self, source: VersionAwareScheduler) -> None:
-        """Replicate the version vector to peer schedulers (one-way delay)."""
+        """Replicate the version vector to peer schedulers (one-way delay).
+
+        These RPCs traverse the chaos network too, but they are fire-and-
+        forget best effort (the next commit re-sends a superset vector), so
+        losses land under ``net.sched_state_drops`` — NOT ``net.drops``,
+        which is reserved for the write-set conservation invariant.
+        """
         state = source.export_state()
-        for agent in self.schedulers[1:]:
+        for agent in self.schedulers:
             if agent.alive and agent.scheduler is not source:
-                self.sim.schedule(
-                    self.cost.config.net_latency, agent.scheduler.import_state, state
-                )
+                link = self.net.link(source.scheduler_id, agent.agent_id)
+                if link.lossy and link.drops():
+                    self.counters.add("net.sched_state_drops")
+                    continue
+                delay = self.cost.config.net_latency
+                if link.lossy:
+                    delay += link.extra_delay()
+                self.sim.schedule(delay, agent.scheduler.import_state, state)
 
     def kill_scheduler(self, agent_id: str) -> None:
         for agent in self.schedulers:
@@ -381,6 +537,7 @@ class SimDmvCluster:
         yield self.sim.timeout(cfg.rtt())
         successor.ready = True
         self.scheduler_takeovers.append((detected, self.sim.now()))
+        self._wake_update_waiters()
 
     # -- topology ------------------------------------------------------------------------
     def _add_slave(self, node_id: str, cache_pages: int, spare: bool) -> InMemoryDbNode:
@@ -429,6 +586,72 @@ class SimDmvCluster:
     def chill_cache(self, node_id: str) -> None:
         self.nodes[node_id].cache.invalidate_all()
 
+    # -- update admission (graceful degradation) ---------------------------------------------
+    def acquire_master(self, tables: Sequence[str]):
+        """Route an update to its master, queueing through reconfigurations.
+
+        While the master of the tables' conflict class is being failed over,
+        the update does not bounce with ``NodeUnavailable``: it is parked on
+        a waiter event (counted under ``sched.queued_updates``) and released
+        when a reconfiguration step completes.  The wait is bounded by one
+        absolute deadline of ``update_queue_deadline`` seconds; expiry
+        counts a ``sched.deadline_rejects`` and fails with reason
+        ``reconfig-deadline``.  Unrecoverable situations (no scheduler, a
+        recorded dead-end master, no conceivable successor) fail fast.
+        """
+        deadline = self.sim.now() + self.cost.config.update_queue_deadline
+        queued = False
+        while True:
+            master_id: Optional[str] = None
+            try:
+                master_id = self.scheduler.route_update(list(tables))
+                node = self.nodes.get(master_id)
+                if node is not None and node.alive and node.master is not None:
+                    return node
+                unavailable = NodeUnavailable(f"{master_id} is not serving as master yet")
+            except NodeUnavailable as exc:
+                unavailable = exc
+            if not self._may_recover(master_id):
+                raise unavailable
+            if not queued:
+                queued = True
+                self.counters.add("sched.queued_updates")
+            remaining = deadline - self.sim.now()
+            if remaining <= 0:
+                self.counters.add("sched.deadline_rejects")
+                expired = NodeUnavailable(
+                    "update queue deadline expired during reconfiguration"
+                )
+                expired.reason = "reconfig-deadline"
+                raise expired
+            waiter = self.sim.event()
+            self._update_waiters.append(waiter)
+            yield self.sim.any_of([waiter, self.sim.timeout(remaining)])
+
+    def _may_recover(self, master_id: Optional[str]) -> bool:
+        """Could a queued update for ``master_id`` plausibly be served later?"""
+        if master_id is not None and master_id in self._reconfig_dead_ends:
+            return False
+        if not self._alive_scheduler_agents():
+            return False
+        if self._reconfiguring:
+            return True
+        if any(not a.ready for a in self._alive_scheduler_agents()):
+            return True  # scheduler takeover in flight
+        # Not mid-reconfiguration: recovery is conceivable only if the
+        # failure has not been detected yet and a successor candidate exists.
+        return any(
+            n.alive and n.slave is not None and n.subscribed and n.master is None
+            for n in self.nodes.values()
+        )
+
+    def _wake_update_waiters(self) -> None:
+        """Release every queued update to re-route (topology changed)."""
+        waiters, self._update_waiters = self._update_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed(None)
+
     # -- replication ------------------------------------------------------------------------
     def commit_update(self, node: InMemoryDbNode, txn, queries):
         """Master pre-commit + eager broadcast + ack barrier (Figure 2)."""
@@ -444,7 +667,7 @@ class SimDmvCluster:
             node.cpu.release()
         if write_set is not None:
             acks = [
-                self._channel(target).send(write_set)
+                self._channel(node.node_id, target).send(write_set)
                 for target in self.nodes.values()
                 if target.node_id != node.node_id
                 and target.alive
@@ -460,15 +683,19 @@ class SimDmvCluster:
                 raise NodeUnavailable(f"master {node.node_id} failed during commit")
             primary = self.scheduler
             primary.on_master_commit(node.node_id, write_set.versions, queries, txn.txn_id)
+            # Scheduler-confirmed == fully replicated: this is the durable
+            # history the chaos durability invariant audits survivors for.
+            self.commit_log.append((node.node_id, txn.txn_id, dict(write_set.versions)))
             self._replicate_scheduler_state(primary)
             node.master.finalize(txn)
         yield self.sim.timeout(cfg.rtt())
         return None
 
-    def _channel(self, target: InMemoryDbNode) -> ReplicationChannel:
-        channel = self._channels.get(target.node_id)
+    def _channel(self, source_id: str, target: InMemoryDbNode) -> ReplicationChannel:
+        key = (source_id, target.node_id)
+        channel = self._channels.get(key)
         if channel is None:
-            channel = self._channels[target.node_id] = ReplicationChannel(self, target)
+            channel = self._channels[key] = ReplicationChannel(self, source_id, target)
         return channel
 
     # -- failure injection & detection ---------------------------------------------------------
@@ -480,8 +707,19 @@ class SimDmvCluster:
     def kill_node_at(self, node_id: str, when: float) -> None:
         self.sim.schedule(max(0.0, when - self.sim.now()), self.kill_node, node_id)
 
+    def suspect_node(self, node_id: str) -> None:
+        """Fail-stop suspicion: the retransmission budget for ``node_id``
+        was exhausted, so the sender declares it failed (the paper's
+        fail-stop model — an unreachable node IS a failed node).  The
+        heartbeat detector then drives the normal reconfiguration."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        self.counters.add("net.suspicions")
+        self.kill_node(node_id)
+
     def _failure_detector(self):
-        missed: Dict[str, int] = {}
+        missed = self._missed  # instance state: cleared per-node on reintegration
         while True:
             yield self.sim.timeout(self.heartbeat_interval)
             for node_id, node in list(self.nodes.items()):
@@ -512,7 +750,14 @@ class SimDmvCluster:
                         )
 
     def _reconfigure(self, failed_id: str):
-        """Timed failure reconfiguration (paper §4.1-4.5)."""
+        """Timed failure reconfiguration (paper §4.1-4.5).
+
+        While it runs, ``failed_id`` is in the graceful-degradation window:
+        updates for its conflict classes queue (bounded by
+        ``update_queue_deadline``) instead of failing immediately.  If no
+        successor can be elected the master is recorded as a dead end and
+        queued updates are released with a clean error — never a hang.
+        """
         failed = self.nodes[failed_id]
         timeline = FailoverTimeline(
             failure_time=failed.failed_at or self.sim.now(),
@@ -521,8 +766,29 @@ class SimDmvCluster:
         self.timelines.append(timeline)
         cfg = self.cost.config
         was_master = failed.master is not None
+        if was_master:
+            self._reconfiguring.add(failed_id)
+        try:
+            yield from self._reconfigure_body(failed, failed_id, timeline, cfg, was_master)
+        finally:
+            self._reconfiguring.discard(failed_id)
+            self._wake_update_waiters()
+
+    def _reconfigure_body(self, failed, failed_id: str, timeline, cfg, was_master: bool):
         for agent in self._alive_scheduler_agents():
             agent.scheduler.remove_node(failed_id)
+        while True:
+            if not self._alive_scheduler_agents():
+                # Every scheduler agent is gone: no coordinator exists to
+                # run the protocol.  Record the dead end so clients fail
+                # cleanly instead of hanging.
+                self._reconfig_dead_ends.add(failed_id)
+                return
+            if any(a.ready for a in self._alive_scheduler_agents()):
+                break
+            # A scheduler takeover is resynchronising; reconfiguration
+            # needs its confirmed version vector, so wait it out.
+            yield self.sim.timeout(self.heartbeat_interval)
         if was_master:
             confirmed = self.scheduler.latest.copy()
             # Phase 1 (Recovery): ask every replica to discard unconfirmed
@@ -548,7 +814,17 @@ class SimDmvCluster:
             candidates = [
                 n.slave for n in pure_slaves if not self._is_spare(n.node_id) and n.subscribed
             ] or [n.slave for n in pure_slaves if n.subscribed]
-            new_slave = elect_new_master(candidates)
+            try:
+                new_slave = elect_new_master(candidates)
+            except NodeUnavailable:
+                # Zero surviving subscribed slaves: the failed master's
+                # conflict classes cannot be re-homed.  Record the dead end
+                # (updates for them fail cleanly until an operator restores
+                # capacity) rather than crashing the reconfiguration job.
+                self._reconfig_dead_ends.add(failed_id)
+                timeline.recovery_done = self.sim.now()
+                timeline.migration_done = self.sim.now()
+                return
             # Stop routing reads to the promotee before promotion begins.
             for agent in self._alive_scheduler_agents():
                 agent.scheduler.remove_node(new_slave.node_id)
@@ -571,9 +847,14 @@ class SimDmvCluster:
             for agent in self._alive_scheduler_agents():
                 agent.scheduler.on_master_failure(failed_id, new_slave.node_id)
         timeline.recovery_done = self.sim.now()
+        self._reconfig_dead_ends.discard(failed_id)
         # Spare promotion: backfill active capacity from the spare pool.
-        spares = self.scheduler.spare_slaves()
-        need_backfill = was_master or not self.scheduler.active_slaves()
+        try:
+            spares = self.scheduler.spare_slaves()
+            need_backfill = was_master or not self.scheduler.active_slaves()
+        except NodeUnavailable:
+            timeline.migration_done = self.sim.now()
+            return
         if spares and need_backfill:
             spare_node = self.nodes[spares[0].node_id]
             if not spare_node.subscribed:
@@ -664,6 +945,9 @@ class SimDmvCluster:
         node.make_slave()
         node.subscribed = True
         self._handled_failures.discard(node_id)
+        # Reset the failure detector's miss count too, or a later second
+        # failure of this node would be detected off stale counts.
+        self._missed.pop(node_id, None)
         # Reboot: restore from the local fuzzy checkpoint (sequential read),
         # with a cold OS page cache.
         restore_from_checkpoint(node.slave, node.stable)
@@ -680,6 +964,7 @@ class SimDmvCluster:
             self._spare_ids.add(node_id)
         for agent in self._alive_scheduler_agents():
             agent.scheduler.add_slave(node_id, spare=spare)
+        self._wake_update_waiters()
         return timeline
 
     def _migration_cpu(self, node: InMemoryDbNode, work_units: int):
@@ -746,8 +1031,18 @@ class SimDmvCluster:
             self._browsers.append(browser)
             self.sim.spawn(self._browser_loop(browser, max_retries), name=f"eb{base + i}")
 
+    def stop_browsers(self) -> None:
+        """Ask every browser loop to exit at its next interaction boundary.
+
+        Used by the chaos harness to quiesce the workload before running
+        invariant checks: in-flight interactions finish (or exhaust their
+        retries), then the cluster drains to a stable state.
+        """
+        self._stop_browsers = True
+
     def _browser_loop(self, browser: EmulatedBrowser, max_retries: int):
-        while True:
+        cfg = self.cost.config
+        while not self._stop_browsers:
             name = browser.pick()
             start = self.sim.now()
             attempts = 0
@@ -767,7 +1062,14 @@ class SimDmvCluster:
                     if attempts > max_retries:
                         self.metrics.failed += 1
                         break
-                    yield self.sim.timeout(0.1 * attempts)
+                    # Jittered exponential backoff from the browser's own
+                    # stream: a mass failure does not resynchronise every
+                    # browser into retry waves hitting the recovering node.
+                    yield self.sim.timeout(
+                        browser.retry_backoff(
+                            attempts, cfg.browser_backoff_base, cfg.browser_backoff_cap
+                        )
+                    )
             yield self.sim.timeout(browser.think_time())
 
     def _drive(self, gen, conn: SimConnection):

@@ -338,7 +338,12 @@ class SimDiskCluster:
                     if attempts > max_retries:
                         self.metrics.failed += 1
                         break
-                    yield self.sim.timeout(0.1 * attempts)
+                    cfg = self.cost.config
+                    yield self.sim.timeout(
+                        browser.retry_backoff(
+                            attempts, cfg.browser_backoff_base, cfg.browser_backoff_cap
+                        )
+                    )
             yield self.sim.timeout(browser.think_time())
 
     def _drive(self, gen):

@@ -164,6 +164,26 @@ class InMemoryDbNode(SimNode):
                 if holding:
                     self.cpu.release()
 
+    def deliver_write_set(self, write_set: WriteSet) -> str:
+        """Synchronous receive bookkeeping: returns ``ok``/``dup``/``dead``.
+
+        Split from the timed job so the replication channel can account the
+        outcome exactly even if the node dies while the receive CPU charge
+        is still elapsing: once this returns ``ok`` the write-set *is*
+        buffered (and deduplicated), whatever happens to the ack.
+        """
+        if not self.alive or self.slave is None:
+            return "dead"
+        if self.slave.is_duplicate(write_set):
+            self.counters.add("net.dups_ignored")
+            return "dup"
+        self.slave.receive(write_set)
+        return "ok"
+
+    def receive_cost(self, op_count: int):
+        """The replication thread's CPU charge for one received write-set."""
+        yield self.sim.timeout(self.cost.receive_cpu(op_count))
+
     def receive_write_set(self, write_set: WriteSet):
         """Eager receive path.
 
@@ -173,8 +193,7 @@ class InMemoryDbNode(SimNode):
         core.  (Acks must return promptly or every master commit would
         stall behind the slowest slave's longest-running query.)
         """
-        if self.slave is not None:
-            self.slave.receive(write_set)
+        self.deliver_write_set(write_set)
         yield self.sim.timeout(self.cost.receive_cpu(len(write_set.ops)))
 
     def touch_pages_job(self, page_ids):

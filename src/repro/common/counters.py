@@ -59,6 +59,20 @@ class Counters:
             total.merge_from(counters)
         return total
 
+    def fingerprint(self) -> str:
+        """Stable short hash of every counter value (order-independent).
+
+        Two runs of the same seeded experiment must produce the same
+        fingerprint; the chaos harness prints it so a soak failure can be
+        replayed bit-for-bit from the seed and checked for drift.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name, value in sorted(self._values.items()):
+            digest.update(f"{name}={value!r};".encode())
+        return digest.hexdigest()[:16]
+
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._values.items()))
 

@@ -45,6 +45,10 @@ class MasterReplica:
                 controller=TwoPhaseLocking(), counters=self.counters, name=f"master:{node_id}"
             )
         self.engine = engine
+        #: Broadcast sequence number stamped on every write-set this master
+        #: produces; slaves key their duplicate filter on it (plus the
+        #: commit versions), making retransmissions idempotent.
+        self.broadcast_seq = 0
 
     # -- transaction lifecycle ---------------------------------------------------
     def begin_update(self, write_tables=()) -> Transaction:
@@ -75,7 +79,10 @@ class MasterReplica:
         self.engine.stamp_commit(txn, commit_versions)
         self.counters.add("master.write_sets")
         self.counters.add("master.ops_replicated", len(ops))
-        return WriteSet(self.node_id, txn.txn_id, tuple(ops), commit_versions)
+        self.broadcast_seq += 1
+        return WriteSet(
+            self.node_id, txn.txn_id, tuple(ops), commit_versions, seq=self.broadcast_seq
+        )
 
     def finalize(self, txn: Transaction) -> None:
         """Commit locally after all replicas acknowledged (releases locks)."""

@@ -69,14 +69,55 @@ class SlaveReplica:
         self.pending: Dict[PageId, Deque[Tuple[int, object]]] = {}
         #: Highest versions received from masters (per table).
         self.received_versions = VersionVector()
+        #: Duplicate filter over write-set identities (idempotent receive).
+        #: Keys of discarded write-sets are kept: a retransmission of a
+        #: broadcast that master-failure cleanup already dropped must not be
+        #: re-buffered after its producer is gone.
+        self._seen_write_sets: set = set()
         #: While True (node catching up after a restart), received write-sets
         #: are buffered WITHOUT index maintenance — the indexes will be
         #: rebuilt from page contents once migration completes.
         self.catching_up = False
 
     # -- replication receive path ---------------------------------------------------
+    def is_duplicate(self, write_set: WriteSet) -> bool:
+        """True if this broadcast was already received (retransmit/dup)
+        or its effects are already covered by this replica's page images.
+
+        The coverage test matters after reintegration: a write-set dropped
+        on the wire before the node failed may be retransmitted after data
+        migration has already installed its effects — the dedup identity
+        set is empty for it, but re-applying it would corrupt the eagerly
+        maintained indexes.  Coverage is judged per PAGE, not per table:
+        same-page transactions serialize on the master's page locks, so a
+        page image at version ``v`` provably contains every op at or below
+        ``v`` — while table-level version vectors may legitimately arrive
+        out of order (non-conflicting commits broadcast concurrently).
+        """
+        if write_set.dedup_key() in self._seen_write_sets:
+            return True
+        if not write_set.ops:
+            return False
+        store = self.engine.store
+        return all(
+            store.contains(op.page_id)
+            and write_set.versions[op.page_id.table] <= store.get(op.page_id).version
+            for op in write_set.ops
+        )
+
     def receive(self, write_set: WriteSet) -> None:
-        """Buffer one write-set: queue page ops, maintain indexes eagerly."""
+        """Buffer one write-set: queue page ops, maintain indexes eagerly.
+
+        Receipt is idempotent: a write-set whose identity was seen before
+        (ack lost → master retransmitted, or the link duplicated the
+        message) is dropped without touching queues or indexes.
+        """
+        key = write_set.dedup_key()
+        if self.is_duplicate(write_set):
+            self.counters.add("net.dups_ignored")
+            self._seen_write_sets.add(key)
+            return
+        self._seen_write_sets.add(key)
         for op in write_set.ops:
             version = write_set.versions[op.page_id.table]
             page = self.engine.store.get_or_allocate(op.page_id)

@@ -30,6 +30,20 @@ class WriteSet:
     ops: Tuple[PageOp, ...]
     #: table -> commit version (this transaction's entries of DBVersion).
     versions: Dict[str, int] = field(default_factory=dict)
+    #: Per-master broadcast sequence number.  Together with the commit
+    #: versions it keys the slaves' duplicate filter, so retransmitted and
+    #: link-duplicated write-sets are received idempotently.
+    seq: int = 0
+
+    def dedup_key(self) -> Tuple:
+        """Identity of this broadcast for the slave-side duplicate filter.
+
+        The commit versions are included alongside ``(master, seq)`` so a
+        promoted master whose sequence counter restarts can never collide
+        with a retired master's history — per-table versions only move
+        forward across reconfigurations.
+        """
+        return (self.master_id, self.seq, tuple(sorted(self.versions.items())))
 
     def byte_size(self) -> int:
         """Approximate wire size (network cost accounting); memoized."""

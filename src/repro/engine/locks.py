@@ -69,7 +69,9 @@ class LockManager:
 
     def __init__(self) -> None:
         self._states: Dict[Hashable, _LockState] = {}
-        self._held_by_txn: Dict[TxnId, Set[Hashable]] = {}
+        # Insertion-ordered (dict-as-set): release/promote order must not
+        # depend on hash randomization or replayed runs diverge.
+        self._held_by_txn: Dict[TxnId, Dict[Hashable, None]] = {}
         self.grants = 0
         self.waits = 0
         self.deadlocks = 0
@@ -119,22 +121,22 @@ class LockManager:
 
     def _do_grant(self, state: _LockState, request: LockRequest) -> None:
         state.holders[request.txn_id] = request.mode
-        self._held_by_txn.setdefault(request.txn_id, set()).add(request.resource)
+        self._held_by_txn.setdefault(request.txn_id, {})[request.resource] = None
         self.grants += 1
         request._grant()
 
     # -- release ---------------------------------------------------------------
     def release_all(self, txn_id: TxnId) -> None:
         """Release every lock and queued request of ``txn_id``."""
-        resources = self._held_by_txn.pop(txn_id, set())
-        touched = set(resources)
+        resources = self._held_by_txn.pop(txn_id, {})
+        touched: Dict[Hashable, None] = dict.fromkeys(resources)
         # Also purge queued (never-granted) requests on any resource.
         for resource, state in self._states.items():
             before = len(state.queue)
             if before:
                 state.queue = deque(r for r in state.queue if r.txn_id != txn_id)
                 if len(state.queue) != before:
-                    touched.add(resource)
+                    touched.setdefault(resource, None)
         for resource in resources:
             state = self._states[resource]
             state.holders.pop(txn_id, None)
@@ -162,7 +164,7 @@ class LockManager:
 
     # -- introspection ------------------------------------------------------------
     def held(self, txn_id: TxnId) -> Set[Hashable]:
-        return set(self._held_by_txn.get(txn_id, set()))
+        return set(self._held_by_txn.get(txn_id, ()))
 
     def mode_held(self, txn_id: TxnId, resource: Hashable) -> Optional[LockMode]:
         state = self._states.get(resource)

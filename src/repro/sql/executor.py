@@ -461,9 +461,11 @@ class _CompiledSelect:
         if isinstance(access, IndexAccess):
             eq_vals = tuple(fn(env, ctx) for fn in step.eq_fns)
             if step.in_fns is not None:
-                # IN-list: a union of point prefixes.
-                for fn in step.in_fns:
-                    lo_enc, hi_enc = prefix_bounds(eq_vals + (fn(env, ctx),))
+                # IN-list: a union of point prefixes.  Dedup the evaluated
+                # values — repeated list members must not emit a row twice.
+                in_vals = dict.fromkeys(fn(env, ctx) for fn in step.in_fns)
+                for value in in_vals:
+                    lo_enc, hi_enc = prefix_bounds(eq_vals + (value,))
                     for loc in table.index_range_encoded(txn, step.index_name, lo_enc, hi_enc):
                         row = table.fetch(txn, loc)
                         if row is not None:
@@ -665,8 +667,9 @@ class _CompiledDml:
             eq_vals = tuple(fn(env, ctx) for fn in self.step.eq_fns)
             if self.step.in_fns is not None:
                 candidates = []
-                for fn in self.step.in_fns:
-                    lo_enc, hi_enc = prefix_bounds(eq_vals + (fn(env, ctx),))
+                in_vals = dict.fromkeys(fn(env, ctx) for fn in self.step.in_fns)
+                for value in in_vals:
+                    lo_enc, hi_enc = prefix_bounds(eq_vals + (value,))
                     candidates.extend(
                         (loc, table.fetch_for_update(txn, loc))
                         for loc in list(

@@ -57,3 +57,14 @@ class EmulatedBrowser:
 
     def think_time(self) -> float:
         return min(self.rng.expovariate(self.think_time_mean), THINK_TIME_CAP)
+
+    def retry_backoff(self, attempts: int, base: float = 0.05, cap: float = 5.0) -> float:
+        """Jittered exponential backoff before retry number ``attempts``.
+
+        Drawn from this browser's own deterministic stream, so a mass abort
+        (node failure) de-synchronises instead of producing lock-step retry
+        waves: each browser sleeps ``base * 2^(attempts-1)`` (capped)
+        scaled by an independent uniform [0.5, 1.5) jitter.
+        """
+        delay = min(base * (2 ** (max(1, attempts) - 1)), cap)
+        return delay * self.rng.uniform(0.5, 1.5)
