@@ -336,6 +336,64 @@ def test_bench_batched_vs_unbatched_broadcast(figure_report):
     )
 
 
+def test_bench_tracing_disabled_overhead(figure_report):
+    """Disabled tracing must cost <=5 % of a seeded cluster run.
+
+    The bound is computed, not guessed from noisy timer deltas: an enabled
+    run counts how many spans the workload would emit, a tight loop prices
+    one disabled-path hook (disabled ``tracer.span`` plus a null-span
+    child/annotate/finish chain — strictly more work than any real call
+    site does when tracing is off), and their product is the worst-case
+    instrumentation cost, which must stay under 5 % of the untraced
+    wall-clock time.
+    """
+    import time
+
+    from conftest import quick_mode
+
+    from repro.cluster.simcluster import SimDmvCluster
+    from repro.obs import NULL_TRACER
+    from repro.tpcw import MIXES, TPCW_SCHEMAS, TpcwDataGenerator, TpcwScale
+
+    scale = TpcwScale(num_items=60, num_customers=200)
+    horizon = 12.0 if quick_mode() else 25.0
+
+    def seeded_run(trace):
+        cluster = SimDmvCluster(TPCW_SCHEMAS, num_slaves=2, seed=3, trace=trace)
+        cluster.load(TpcwDataGenerator(scale, seed=3))
+        cluster.warm_all_caches()
+        cluster.start_browsers(6, MIXES["ordering"], scale, think_time_mean=0.2)
+        cluster.sim.schedule(horizon - 4.0, cluster.stop_browsers)
+        cluster.run(until=horizon)
+        return cluster
+
+    t_off = _time_best(lambda: seeded_run(False), repeats=3)
+    traced = seeded_run(True)
+    spans = traced.tracer.finished_count + len(traced.tracer.open_spans())
+    assert spans > 0
+
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        s = NULL_TRACER.span("execute", node="m0", attempt=1)
+        s.child("apply", page="p").annotate(popped=1).finish(status="ok")
+    per_hook = (time.perf_counter() - t0) / n
+
+    worst_case = spans * per_hook
+    overhead = worst_case / t_off
+    assert overhead <= 0.05, (
+        f"disabled-path instrumentation bound {overhead:.2%} exceeds 5% "
+        f"({spans} spans x {per_hook * 1e9:.0f}ns vs {t_off:.3f}s run)"
+    )
+    figure_report(
+        "micro_tracing_overhead",
+        f"tracing off: {horizon:.0f}s simulated run in {t_off:.3f}s wall\n"
+        f"  spans a traced run emits : {spans}\n"
+        f"  disabled hook cost       : {per_hook * 1e9:7.0f} ns\n"
+        f"  worst-case overhead      : {overhead:.3%} (budget 5%)",
+    )
+
+
 def test_ordering_mix_delta_savings(figure_report):
     """TPC-W ordering mix must ship >=30% fewer write-set bytes via deltas."""
     from conftest import quick_mode

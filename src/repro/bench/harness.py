@@ -78,6 +78,16 @@ class ThroughputRun:
     #: Client-side retries broken down by abort reason (deadlock,
     #: node-failure, reconfig-deadline, ...).
     retries_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: The run's tracer when measured with ``trace=True`` (else None).
+    tracer: Optional[object] = None
+
+    def stage_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage latency summaries (empty without tracing)."""
+        return self.tracer.stages.summary() if self.tracer is not None else {}
+
+    def stage_table(self) -> str:
+        """Per-stage p50/p95/p99 table (empty string without tracing)."""
+        return self.tracer.stage_table() if self.tracer is not None else ""
 
     @property
     def bytes_shipped(self) -> float:
@@ -159,6 +169,7 @@ def run_dmv_throughput(
     cost: CostConfig = BENCH_COST,
     think_time: float = BENCH_THINK_TIME,
     seed: int = 0,
+    trace: bool = False,
 ) -> ThroughputRun:
     cluster = SimDmvCluster(
         TPCW_SCHEMAS,
@@ -166,6 +177,7 @@ def run_dmv_throughput(
         cost_config=cost,
         rows_per_page=BENCH_ROWS_PER_PAGE,
         seed=seed,
+        trace=trace,
     )
     _load_cluster(cluster, scale, 42)
     cluster.warm_all_caches()
@@ -175,6 +187,7 @@ def run_dmv_throughput(
         clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed,
         replication=replication_totals(cluster),
         retries_by_reason=dict(cluster.metrics.aborts_by_reason),
+        tracer=cluster.tracer if trace else None,
     )
 
 

@@ -32,6 +32,19 @@ def main(argv=None) -> int:
         default=None,
         help="fail unless the metrics fingerprint matches (reproducibility gate)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record transaction spans; prints the per-stage latency table "
+        "and writes a Chrome-trace JSON (see --trace-out)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="chaos-trace.json",
+        metavar="PATH",
+        help="Chrome-trace output path when --trace is set "
+        "(open in Perfetto / chrome://tracing)",
+    )
     args = parser.parse_args(argv)
 
     report = run_chaos_scenario(
@@ -39,8 +52,14 @@ def main(argv=None) -> int:
         duration=args.duration,
         browsers=args.browsers,
         mix_name=args.mix,
+        trace=args.trace,
     )
     print(report.summary())
+    if args.trace and report.tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        events = write_chrome_trace(args.trace_out, report.tracer)
+        print(f"trace: {events} events -> {args.trace_out}")
     ok = report.ok()
     if args.min_commits and report.completed < args.min_commits:
         print(f"FAIL: only {report.completed} commits (< {args.min_commits})")

@@ -177,13 +177,63 @@ def check_counter_conservation(cluster) -> InvariantResult:
     return InvariantResult("counter-conservation", True, detail)
 
 
+def check_trace_hygiene(cluster) -> InvariantResult:
+    """At quiescence every span is closed and every span is accounted for.
+
+    Two properties of the :mod:`repro.obs` tracer after the workload has
+    drained:
+
+    * no span is still open — every transaction attempt reached a terminal
+      close (``committed``/``aborted``/``interrupted``), whatever faults
+      hit it mid-flight;
+    * conservation: histogram samples + instant events == total finished
+      spans (nothing was double-recorded or lost between the ring and the
+      stage histograms);
+    * while the ring has not evicted anything, no finished span references
+      a parent that never existed (orphans).
+    """
+    tracer = getattr(cluster, "tracer", None)
+    if tracer is None or not tracer.enabled:
+        return InvariantResult("trace-hygiene", True, "tracing disabled")
+    problems: List[str] = []
+    open_spans = tracer.open_spans()
+    if open_spans:
+        problems.append(f"{len(open_spans)} spans still open (first: {open_spans[0]!r})")
+    recorded = tracer.stages.total_count() + tracer.instant_count
+    if recorded != tracer.finished_count:
+        problems.append(
+            f"span conservation broken: {tracer.stages.total_count()} histogram "
+            f"samples + {tracer.instant_count} instants != "
+            f"{tracer.finished_count} finished"
+        )
+    if tracer.log.dropped == 0:
+        orphans = tracer.orphans()
+        if orphans:
+            problems.append(f"{len(orphans)} orphan spans (first: {orphans[0]!r})")
+    return InvariantResult(
+        "trace-hygiene",
+        not problems,
+        "; ".join(problems)
+        if problems
+        else f"{tracer.finished_count} spans closed, 0 open",
+    )
+
+
 def check_all_invariants(
     cluster, sample_tables: Optional[Sequence[str]] = None
 ) -> List[InvariantResult]:
-    """Run every checker; returns all results (failures included)."""
-    return [
+    """Run every checker; returns all results (failures included).
+
+    The trace-hygiene checker is appended only when the cluster ran with
+    tracing enabled — on an untraced run it has nothing to audit.
+    """
+    results = [
         check_durable_commits(cluster),
         check_replica_convergence(cluster),
         check_snapshot_consistency(cluster, sample_tables),
         check_counter_conservation(cluster),
     ]
+    tracer = getattr(cluster, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        results.append(check_trace_hygiene(cluster))
+    return results

@@ -59,9 +59,18 @@ class ChaosReport:
     #: identical ``(seed, plan, workload)`` inputs.
     fingerprint: str = ""
     retries_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: The cluster's tracer when the run had ``trace=True`` (else None);
+    #: carries the span log for export and the per-stage histograms.
+    tracer: Optional[object] = None
 
     def ok(self) -> bool:
         return all(result.ok for result in self.invariants)
+
+    def stage_table(self) -> str:
+        """Per-stage p50/p95/p99 latency table (empty without tracing)."""
+        if self.tracer is None:
+            return ""
+        return self.tracer.stage_table()
 
     def summary(self) -> str:
         lines = [
@@ -83,6 +92,9 @@ class ChaosReport:
         )
         lines.extend(str(result) for result in self.invariants)
         lines.append("invariants: " + ("ALL OK" if self.ok() else "FAILURES"))
+        if self.tracer is not None:
+            lines.append("per-stage latency breakdown (virtual clock):")
+            lines.append(self.stage_table())
         return "\n".join(lines)
 
 
@@ -121,6 +133,7 @@ def run_chaos_scenario(
     num_slaves: int = 3,
     num_schedulers: int = 2,
     scale=None,
+    trace: bool = False,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
@@ -144,6 +157,7 @@ def run_chaos_scenario(
         num_slaves=num_slaves,
         num_schedulers=num_schedulers,
         seed=seed,
+        trace=trace,
     )
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()
@@ -171,4 +185,5 @@ def run_chaos_scenario(
         counters=merged.snapshot(),
         fingerprint=merged.fingerprint(),
         retries_by_reason=dict(metrics.aborts_by_reason),
+        tracer=cluster.tracer if trace else None,
     )

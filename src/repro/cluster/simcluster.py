@@ -25,6 +25,7 @@ from repro.failover.recovery import (
     promote_slave_to_master,
 )
 from repro.failover.reintegration import integrate_stale_node, restore_from_checkpoint
+from repro.obs import NULL_SPAN, Tracer
 from repro.scheduler.conflictaware import ConflictAwareScheduler
 from repro.scheduler.versionaware import VersionAwareScheduler
 from repro.sim.kernel import Simulator
@@ -72,24 +73,58 @@ class SimConnection(Connection):
         self._txn = None
         self._is_update = False
         self._queries: List[Tuple[str, Tuple]] = []
+        #: Root span of the current transaction attempt.  Ownership moves
+        #: to :meth:`SimDmvCluster.commit_update` for update commits; any
+        #: span still held here is closed as aborted by :meth:`cleanup`.
+        self._root = NULL_SPAN
 
     def begin_read(self, tables: Sequence[str]):
-        routed = self.cluster.scheduler.route_read(list(tables))
+        root = self._root = self.cluster.tracer.span(
+            "txn", kind="read", tables=",".join(tables)
+        )
+        with root.child("schedule", kind="read") as sched:
+            routed = self.cluster.scheduler.route_read(list(tables))
+            sched.annotate(node=routed.node_id, status="routed")
         node = self.cluster.node(routed.node_id)
         self._node = node
         self._is_update = False
         self._txn = node.slave.begin_read_only(routed.tag)
+        if root.recording:
+            self._txn.obs_span = root
+            # The txn id exists only now; stamp it on the already-closed
+            # schedule span too so the whole tree shares it.
+            root.txn_id = sched.txn_id = self._txn.txn_id
+            root.annotate(node=node.node_id, tag=routed.tag.as_dict())
         return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
 
     def begin_update(self, tables: Sequence[str]):
         self._is_update = True
         self._queries = []
+        self._root = self.cluster.tracer.span(
+            "txn", kind="update", tables=",".join(tables)
+        )
         return self.cluster.sim.spawn(self._begin_update(list(tables)), name="begin-update")
 
     def _begin_update(self, tables: List[str]):
-        node = yield from self.cluster.acquire_master(tables)
+        root = self._root
+        sched = root.child("schedule", kind="update")
+        try:
+            node = yield from self.cluster.acquire_master(tables)
+        except BaseException as exc:
+            sched.finish(status="error", error=type(exc).__name__)
+            raise
+        sched.finish(node=node.node_id, status="routed")
         self._node = node
         self._txn = node.master.begin_update(write_tables=tables)
+        if root.recording:
+            self._txn.obs_span = root
+            root.txn_id = sched.txn_id = self._txn.txn_id
+            root.annotate(
+                node=node.node_id,
+                conflict_class=self.cluster.conflict_map.class_of(tables[0])
+                if tables
+                else -1,
+            )
         yield self.cluster.sim.timeout(self.cluster.cost.config.rtt())
 
     def query(self, sql: str, params: Sequence = ()):
@@ -124,8 +159,13 @@ class SimConnection(Connection):
         if not self._is_update:
             node.engine.commit(txn)
             self.cluster.scheduler.note_read_done(node.node_id)
+            root, self._root = self._root, NULL_SPAN
+            root.finish(status="committed")
             return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
         queries, self._queries = self._queries, []
+        # Root-span ownership moves to commit_update, which closes it when
+        # the replication pipeline resolves (committed or aborted).
+        self._root = NULL_SPAN
         return self.cluster.sim.spawn(
             self.cluster.commit_update(node, txn, queries), name="commit"
         )
@@ -138,6 +178,8 @@ class SimConnection(Connection):
         """Roll back whatever is still open (safe to call repeatedly)."""
         node, txn = self._node, self._txn
         self._node = self._txn = None
+        root, self._root = self._root, NULL_SPAN
+        root.finish(status="aborted")
         if txn is None or node is None:
             return
         if node.alive:
@@ -177,12 +219,16 @@ class SchedulerAgent:
 class PendingSend:
     """One write-set in flight on a replication channel (ack + attempt count)."""
 
-    __slots__ = ("write_set", "ack", "attempts")
+    __slots__ = ("write_set", "ack", "attempts", "span", "retry_span")
 
-    def __init__(self, write_set, ack) -> None:
+    def __init__(self, write_set, ack, span=NULL_SPAN) -> None:
         self.write_set = write_set
         self.ack = ack
         self.attempts = 0
+        #: ``broadcast`` span covering first transmission through ack (or
+        #: final failure); retransmission attempts nest under it.
+        self.span = span
+        self.retry_span = NULL_SPAN
 
 
 class ReplicationChannel:
@@ -213,9 +259,21 @@ class ReplicationChannel:
         self._outbox: List[PendingSend] = []
         self._busy = False
 
-    def send(self, write_set):
-        """Queue one write-set; returns the event its ack will trigger."""
-        pending = PendingSend(write_set, self.cluster.sim.event())
+    def send(self, write_set, parent_span=NULL_SPAN):
+        """Queue one write-set; returns the event its ack will trigger.
+
+        ``parent_span`` (the committing transaction's root span) makes the
+        per-target ``broadcast`` span a child of the transaction, so the
+        trace shows which commit paid for which network traffic.
+        """
+        span = parent_span.child(
+            "broadcast",
+            node=self.source_id,
+            target=self.target.node_id,
+            seq=write_set.seq,
+            bytes=write_set.byte_size(),
+        )
+        pending = PendingSend(write_set, self.cluster.sim.event(), span)
         self._outbox.append(pending)
         self._kick()
         return pending.ack
@@ -231,6 +289,9 @@ class ReplicationChannel:
     def _finish(pending: PendingSend, ok: bool) -> None:
         if not pending.ack.triggered:
             pending.ack.succeed(ok)
+        pending.retry_span.finish(status="acked" if ok else "failed")
+        pending.span.finish(status="acked" if ok else "failed",
+                            attempts=pending.attempts + 1)
 
     def _drop(self, pending: PendingSend, counters) -> None:
         counters.add("net.drops")
@@ -356,6 +417,16 @@ class ReplicationChannel:
         live = [p for p in requeue if not p.ack.triggered]
         if live:
             self.target.counters.add("net.retransmits", len(live))
+            for pending in live:
+                # Close the previous attempt's span (if any) and open the
+                # next one, nested under the write-set's broadcast span.
+                pending.retry_span.finish(status="retransmitted")
+                pending.retry_span = pending.span.child(
+                    "retransmit",
+                    node=self.source_id,
+                    target=self.target.node_id,
+                    attempt=pending.attempts,
+                )
             self._outbox[:0] = live
 
 
@@ -380,8 +451,15 @@ class SimDmvCluster:
         checkpoint_period: float = 0.0,
         pageid_ship_every: float = 0.0,
         gc_period: float = 60.0,
+        trace: bool = False,
+        trace_capacity: int = 1 << 16,
     ) -> None:
         self.sim = Simulator()
+        #: Transaction-lifecycle tracer on the virtual clock.  Disabled by
+        #: default: the null fast path adds no events to the kernel, so a
+        #: traced run and an untraced run of the same seed are identical
+        #: (same interleaving, same counters, same fingerprint).
+        self.tracer = Tracer(now=self.sim.now, capacity=trace_capacity, enabled=trace)
         self.schemas = list(schemas)
         self.cost = CostModel(cost_config if cost_config is not None else CostConfig())
         self.rng = RngStream(seed, "simcluster")
@@ -408,11 +486,14 @@ class SimDmvCluster:
             )
             for i in range(max(1, num_schedulers))
         ]
+        for agent in self.schedulers:
+            agent.scheduler.tracer = self.tracer
         self.nodes: Dict[str, InMemoryDbNode] = {}
         self.rows_per_page = rows_per_page
         for master_id in master_ids:
             master = InMemoryDbNode(
-                self.sim, master_id, self.cost, self.schemas, cache_pages, rows_per_page
+                self.sim, master_id, self.cost, self.schemas, cache_pages, rows_per_page,
+                tracer=self.tracer,
             )
             if multi_master and len(master_ids) > 1:
                 master.make_dual_master(
@@ -542,7 +623,8 @@ class SimDmvCluster:
     # -- topology ------------------------------------------------------------------------
     def _add_slave(self, node_id: str, cache_pages: int, spare: bool) -> InMemoryDbNode:
         node = InMemoryDbNode(
-            self.sim, node_id, self.cost, self.schemas, cache_pages, self.rows_per_page
+            self.sim, node_id, self.cost, self.schemas, cache_pages, self.rows_per_page,
+            tracer=self.tracer,
         )
         node.make_slave()
         self.nodes[node_id] = node
@@ -654,42 +736,83 @@ class SimDmvCluster:
 
     # -- replication ------------------------------------------------------------------------
     def commit_update(self, node: InMemoryDbNode, txn, queries):
-        """Master pre-commit + eager broadcast + ack barrier (Figure 2)."""
+        """Master pre-commit + eager broadcast + ack barrier (Figure 2).
+
+        This job owns the transaction's root span from the moment the
+        connection spawns it: whatever path the commit takes (success,
+        master death mid-broadcast, interrupt), the root is closed here
+        with a terminal ``status`` tag.
+        """
         cfg = self.cost.config
-        if not node.alive or not txn.active:
-            raise NodeUnavailable(f"master {node.node_id} failed before commit")
-        yield from node.cpu.acquire()
+        root = getattr(txn, "obs_span", NULL_SPAN)
+        committed = False
         try:
-            write_set = node.master.pre_commit(txn)
+            if not node.alive or not txn.active:
+                raise NodeUnavailable(f"master {node.node_id} failed before commit")
+            yield from node.cpu.acquire()
+            write_set = None
+            pre = (
+                root.child("precommit", node=node.node_id)
+                if root.recording
+                else NULL_SPAN
+            )
+            try:
+                if pre.recording:
+                    # pre_commit annotates txn.obs_span with the commit
+                    # version vector and dirtied page ids (see MasterReplica).
+                    txn.obs_span = pre
+                try:
+                    write_set = node.master.pre_commit(txn)
+                finally:
+                    if pre.recording:
+                        txn.obs_span = root
+                if write_set is not None:
+                    yield self.sim.timeout(self.cost.precommit_cpu(len(write_set.ops)))
+            finally:
+                node.cpu.release()
+                if write_set is not None:
+                    pre.finish(status="ok", ops=len(write_set.ops), seq=write_set.seq)
+                else:
+                    pre.finish(status="read-only")
             if write_set is not None:
-                yield self.sim.timeout(self.cost.precommit_cpu(len(write_set.ops)))
+                acks = [
+                    self._channel(node.node_id, target).send(write_set, parent_span=root)
+                    for target in self.nodes.values()
+                    if target.node_id != node.node_id
+                    and target.alive
+                    and target.slave is not None
+                    and target.subscribed
+                ]
+                if acks:
+                    ack_span = (
+                        root.child("ack", node=node.node_id, replicas=len(acks))
+                        if root.recording
+                        else NULL_SPAN
+                    )
+                    try:
+                        yield self.sim.all_of(acks)
+                    finally:
+                        if ack_span.recording:
+                            ack_span.finish(
+                                acked=sum(1 for a in acks if a.triggered and a.value)
+                            )
+                if not node.alive:
+                    # Master died mid-broadcast: the commit was never confirmed
+                    # to the scheduler, so recovery will discard these
+                    # partially propagated modifications (paper §4.2).
+                    raise NodeUnavailable(f"master {node.node_id} failed during commit")
+                primary = self.scheduler
+                primary.on_master_commit(node.node_id, write_set.versions, queries, txn.txn_id)
+                # Scheduler-confirmed == fully replicated: this is the durable
+                # history the chaos durability invariant audits survivors for.
+                self.commit_log.append((node.node_id, txn.txn_id, dict(write_set.versions)))
+                self._replicate_scheduler_state(primary)
+                node.master.finalize(txn)
+            yield self.sim.timeout(cfg.rtt())
+            committed = True
+            return None
         finally:
-            node.cpu.release()
-        if write_set is not None:
-            acks = [
-                self._channel(node.node_id, target).send(write_set)
-                for target in self.nodes.values()
-                if target.node_id != node.node_id
-                and target.alive
-                and target.slave is not None
-                and target.subscribed
-            ]
-            if acks:
-                yield self.sim.all_of(acks)
-            if not node.alive:
-                # Master died mid-broadcast: the commit was never confirmed
-                # to the scheduler, so recovery will discard these
-                # partially propagated modifications (paper §4.2).
-                raise NodeUnavailable(f"master {node.node_id} failed during commit")
-            primary = self.scheduler
-            primary.on_master_commit(node.node_id, write_set.versions, queries, txn.txn_id)
-            # Scheduler-confirmed == fully replicated: this is the durable
-            # history the chaos durability invariant audits survivors for.
-            self.commit_log.append((node.node_id, txn.txn_id, dict(write_set.versions)))
-            self._replicate_scheduler_state(primary)
-            node.master.finalize(txn)
-        yield self.sim.timeout(cfg.rtt())
-        return None
+            root.finish(status="committed" if committed else "aborted")
 
     def _channel(self, source_id: str, target: InMemoryDbNode) -> ReplicationChannel:
         key = (source_id, target.node_id)

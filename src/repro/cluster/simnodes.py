@@ -25,6 +25,7 @@ from repro.core.writeset import WriteSet
 from repro.disk.database import DiskDatabase
 from repro.engine.engine import HeapEngine, LockWait, TwoPhaseLocking
 from repro.engine.schema import TableSchema
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
 from repro.sim.kernel import Interrupt, Process, Simulator
 from repro.sim.resources import Resource
 from repro.sql.executor import SqlExecutor
@@ -83,8 +84,10 @@ class InMemoryDbNode(SimNode):
         schemas: Sequence[TableSchema],
         cache_pages: int = 1 << 30,
         rows_per_page: int = 64,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         super().__init__(sim, node_id, cost)
+        self.tracer = tracer
         self.counters = Counters()
         self.cache = PageCache(cache_pages, self.counters)
         self.engine = HeapEngine(
@@ -129,7 +132,15 @@ class InMemoryDbNode(SimNode):
         Lock waits release the CPU, wait for the grant and retry the
         statement from its savepoint — the blocking the paper's master
         experiences under the ordering mix.
+
+        When the transaction carries a trace root (``txn.obs_span``), every
+        attempt gets its own ``execute`` span; the root is swapped to the
+        attempt span for the duration of the engine call so ``apply`` spans
+        raised by lazy version materialisation nest under the statement
+        that triggered them.
         """
+        root = getattr(txn, "obs_span", NULL_SPAN)
+        attempt = 0
         while True:
             if not txn.active:
                 # Node-side reconfiguration (e.g. promotion) rolled this
@@ -139,15 +150,31 @@ class InMemoryDbNode(SimNode):
                 )
             yield from self.cpu.acquire()
             holding = True
+            span = NULL_SPAN
+            if root.recording:
+                span = root.child(
+                    "execute",
+                    node=self.node_id,
+                    verb=sql.split(None, 1)[0].upper() if sql else "",
+                    attempt=attempt,
+                )
+            attempt += 1
             try:
                 snapshot = self.counters.snapshot()
                 savepoint = txn.savepoint()
                 try:
-                    result = self.sql.execute(txn, sql, tuple(params))
+                    if span.recording:
+                        txn.obs_span = span
+                    try:
+                        result = self.sql.execute(txn, sql, tuple(params))
+                    finally:
+                        if span.recording:
+                            txn.obs_span = root
                 except LockWait as wait:
                     self.engine.rollback_to(txn, savepoint)
                     delta = self.counters.delta_since(snapshot)
                     yield self.sim.timeout(self.cost.statement_cpu(delta))
+                    span.finish(status="lock-wait")
                     holding = False
                     self.cpu.release()
                     granted = self.sim.event()
@@ -159,10 +186,13 @@ class InMemoryDbNode(SimNode):
                 delta = self.counters.delta_since(snapshot)
                 service = self.cost.statement_cpu(delta) + self.cost.fault_time(delta)
                 yield self.sim.timeout(service)
+                span.finish(status="ok")
                 return result
             finally:
                 if holding:
                     self.cpu.release()
+                if not span.closed:
+                    span.finish(status="interrupted")
 
     def deliver_write_set(self, write_set: WriteSet) -> str:
         """Synchronous receive bookkeeping: returns ``ok``/``dup``/``dead``.
@@ -216,7 +246,10 @@ class InMemoryDbNode(SimNode):
 
     # -- maintenance ----------------------------------------------------------------------
     def checkpoint(self) -> int:
-        return self.checkpointer.full_checkpoint(self.engine.page_is_dirty)
+        with self.tracer.span("flush", node=self.node_id, kind="checkpoint") as span:
+            pages = self.checkpointer.full_checkpoint(self.engine.page_is_dirty)
+            span.annotate(pages=pages)
+        return pages
 
     def warm_fraction(self) -> float:
         resident = self.cache.resident_count()

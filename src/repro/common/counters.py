@@ -30,21 +30,35 @@ class Counters:
         return dict(self._values)
 
     def delta_since(self, snapshot: Mapping[str, float]) -> Dict[str, float]:
-        """Per-counter difference between now and a prior :meth:`snapshot`."""
+        """Per-counter difference between now and a prior :meth:`snapshot`.
+
+        Iterates the *union* of current and snapshot keys: a counter that
+        moved backwards since the snapshot (a :meth:`reset` mid-window, or
+        a merge of negative corrections) produces a negative delta instead
+        of silently vanishing — which it would if only the live dict were
+        scanned, because ``defaultdict`` drops no keys but ``reset`` does.
+        """
         out: Dict[str, float] = {}
         for name, value in self._values.items():
             diff = value - snapshot.get(name, 0.0)
             if diff:
                 out[name] = diff
+        for name, old in snapshot.items():
+            if name not in self._values and old:
+                out[name] = -old
         return out
 
     def reset(self) -> None:
         self._values.clear()
 
+    def merge(self, values: Mapping[str, float]) -> None:
+        """Accumulate a plain mapping of counter deltas into this bag."""
+        for name, value in values.items():
+            self._values[name] += value
+
     def merge_from(self, other: "Counters") -> None:
         """Accumulate another bag's totals into this one."""
-        for name, value in other._values.items():
-            self._values[name] += value
+        self.merge(other._values)
 
     @classmethod
     def merged(cls, many: Iterable["Counters"]) -> "Counters":

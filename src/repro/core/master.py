@@ -80,6 +80,17 @@ class MasterReplica:
         self.counters.add("master.write_sets")
         self.counters.add("master.ops_replicated", len(ops))
         self.broadcast_seq += 1
+        span = getattr(txn, "obs_span", None)
+        if span is not None and span.recording:
+            # The commit's identity for the trace: which versions this
+            # transaction produced and which pages it dirtied (capped so a
+            # bulk update cannot bloat one span's tags).
+            pages = sorted({op.page_id for op in ops})
+            span.annotate(
+                versions=dict(commit_versions),
+                pages=pages[:32],
+                page_count=len(pages),
+            )
         return WriteSet(
             self.node_id, txn.txn_id, tuple(ops), commit_versions, seq=self.broadcast_seq
         )

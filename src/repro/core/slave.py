@@ -219,11 +219,30 @@ class SlaveReplica:
         queue = self.pending.get(page.page_id)
         if not queue:
             return
+        parent = getattr(txn, "obs_span", None)
+        span = None
+        if parent is not None and parent.recording:
+            # Nested under the execute span of the statement whose read
+            # triggered this materialisation (see exec_statement's swap).
+            span = parent.child(
+                "apply",
+                node=self.node_id,
+                page=str(page.page_id),
+                target=target if target is not None else -1,
+                queued=len(queue),
+            )
         plan, top, popped = self._coalesce(queue, target)
         if popped:
             self._apply_plan(page, plan, top, popped)
         if not queue:
             del self.pending[page.page_id]
+        if span is not None:
+            span.finish(
+                popped=popped,
+                applied=len(plan) if popped else 0,
+                coalesced=max(0, popped - len(plan)),
+                status="applied" if popped else "noop",
+            )
 
     def apply_all_pending(self) -> int:
         """Apply every buffered op (promotion / catch-up / checkpoint prep).

@@ -52,6 +52,7 @@ class DiskDatabase:
         counters: Optional[Counters] = None,
         now: Optional[Callable[[], float]] = None,
         rows_per_page: int = 64,
+        tracer=None,
     ) -> None:
         self.node_id = node_id
         self.counters = counters if counters is not None else Counters()
@@ -63,7 +64,9 @@ class DiskDatabase:
             name=f"disk:{node_id}",
             rows_per_page=rows_per_page,
         )
-        self.wal = WriteAheadLog(self.counters)
+        if tracer is None:
+            from repro.obs import NULL_TRACER as tracer  # local alias, no cycle
+        self.wal = WriteAheadLog(self.counters, tracer=tracer)
         self.sql = SqlExecutor(self.engine, now=now)
         #: Queries of the currently-open update transactions (for the WAL).
         self._txn_queries: Dict[int, list] = {}

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.counters import Counters
+from repro.obs import NULL_TRACER, Tracer
 from repro.storage.ops import PageOp, ops_size
 
 
@@ -25,8 +26,11 @@ class WalRecord:
 class WriteAheadLog:
     """Append-only redo log with size accounting and truncation."""
 
-    def __init__(self, counters: Optional[Counters] = None) -> None:
+    def __init__(
+        self, counters: Optional[Counters] = None, tracer: Tracer = NULL_TRACER
+    ) -> None:
         self.counters = counters if counters is not None else Counters()
+        self.tracer = tracer
         self._records: List[WalRecord] = []
         self.total_bytes = 0
         self.synced_through = 0  # index of the first un-fsynced record
@@ -49,6 +53,8 @@ class WriteAheadLog:
         flushed = len(self._records) - self.synced_through
         self.synced_through = len(self._records)
         self.counters.add("wal.fsyncs")
+        if self.tracer.enabled:
+            self.tracer.instant("flush_fsync", kind="wal", records=flushed)
         return flushed
 
     def records_since(self, index: int) -> List[WalRecord]:

@@ -1,0 +1,28 @@
+"""Transaction-lifecycle observability: spans, stage histograms, export.
+
+The third pillar of the reproduction (after the replication fast path and
+the chaos harness): a zero-dependency tracing layer driven by the sim
+kernel's virtual clock.  Every transaction yields a causally linked span
+tree over the pipeline stages the paper's Fig. 6 breaks down —
+``schedule`` / ``execute`` / ``precommit`` / ``broadcast`` / ``ack`` /
+``apply`` / ``flush`` — and the tests assert on those spans instead of
+sleeps or counter totals.
+"""
+
+from repro.obs.histogram import CORE_STAGES, FixedBucketHistogram, StageHistograms
+from repro.obs.export import span_to_event, to_chrome_trace, write_chrome_trace
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, TraceLog, Tracer
+
+__all__ = [
+    "CORE_STAGES",
+    "FixedBucketHistogram",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "StageHistograms",
+    "TraceLog",
+    "Tracer",
+    "span_to_event",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,303 @@
+"""Zero-dependency transaction-lifecycle tracing on the virtual clock.
+
+A :class:`Tracer` produces causally linked :class:`Span` trees: one root
+span per transaction attempt, with children for every pipeline stage the
+transaction passes through (``schedule`` → ``execute`` → ``precommit`` →
+``broadcast``/``ack`` → ``apply`` → ``flush``).  Spans carry the txn id,
+the node that did the work, and stage-specific tags (version vectors,
+page ids, retransmission attempts), so a test — or a human staring at a
+Chrome trace — can answer *where the time of one transaction went*,
+which monotonic counter totals cannot.
+
+Design constraints:
+
+* **Clock-agnostic.**  The tracer reads time through a ``now`` callable;
+  the sim kernel passes its virtual clock, unit tests pass a fake.  The
+  tracer never schedules events and never yields, so enabling it cannot
+  perturb a seeded run (chaos fingerprints are identical with tracing on
+  and off).
+* **Free when disabled.**  A disabled tracer hands out the shared
+  :data:`NULL_SPAN`, whose methods are no-ops returning itself; the hot
+  paths pay one attribute check and two no-op calls per statement.
+* **Bounded memory.**  Finished spans land in a ring-buffered
+  :class:`TraceLog`; stage latencies are *also* folded into fixed-bucket
+  histograms (see :mod:`repro.obs.histogram`) which never grow, so the
+  percentile table survives arbitrarily long soaks even after the ring
+  has started dropping raw spans.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.obs.histogram import StageHistograms
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    recording = False
+    instant = False
+    span_id = -1
+    parent_id = -1
+    txn_id = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    tags: Dict[str, Any] = {}
+
+    def child(self, name: str, **tags: Any) -> "_NullSpan":
+        return self
+
+    def annotate(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return True
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+
+#: The span handed out when tracing is disabled (or no parent exists).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, tagged interval in a transaction's lifecycle."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "txn_id",
+                 "start", "end", "tags", "instant")
+
+    recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int,
+        name: str,
+        txn_id: Optional[int],
+        start: float,
+        tags: Dict[str, Any],
+        instant: bool = False,
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.txn_id = txn_id
+        self.start = start
+        self.end: Optional[float] = start if instant else None
+        self.tags = tags
+        self.instant = instant
+
+    # -- lifecycle ------------------------------------------------------------------
+    def child(self, name: str, **tags: Any):
+        """Open a child span (inherits this span's txn id)."""
+        return self.tracer.span(name, parent=self, txn_id=self.txn_id, **tags)
+
+    def annotate(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def finish(self, **tags: Any) -> "Span":
+        """Close the span (idempotent: the first finish wins)."""
+        if self.end is not None:
+            return self
+        if tags:
+            self.tags.update(tags)
+        self.end = self.tracer.now()
+        self.tracer._record(self)
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.tracer.now()) - self.start
+
+    # -- context manager -------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "status" not in self.tags:
+            self.finish(status="error", error=exc_type.__name__)
+        else:
+            self.finish()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"..{self.end:g}" if self.end is not None else ".."
+        return (
+            f"Span(#{self.span_id} {self.name} txn={self.txn_id} "
+            f"t={self.start:g}{state} {self.tags})"
+        )
+
+
+class TraceLog:
+    """Ring buffer of finished spans (oldest dropped once full)."""
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError("trace log capacity must be positive")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        #: Spans evicted by the ring; orphan checks are only sound at 0.
+        self.dropped = 0
+
+    def append(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class Tracer:
+    """Span factory + sink: ring-buffered log and per-stage histograms."""
+
+    def __init__(
+        self,
+        now: Optional[Callable[[], float]] = None,
+        capacity: int = 1 << 16,
+        enabled: bool = True,
+    ) -> None:
+        self.now = now if now is not None else (lambda: 0.0)
+        self.enabled = enabled
+        self.log = TraceLog(capacity)
+        self.stages = StageHistograms()
+        self._open: Dict[int, Span] = {}
+        self._next_id = 0
+        #: Total spans ever finished (instants included) — the conservation
+        #: side of the trace-hygiene invariant, immune to ring eviction.
+        self.finished_count = 0
+        #: Of those, how many were zero-duration instants (which never
+        #: enter the stage histograms).
+        self.instant_count = 0
+
+    # -- span creation ---------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        txn_id: Optional[int] = None,
+        **tags: Any,
+    ):
+        """Open a span; returns :data:`NULL_SPAN` when tracing is off."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None and not parent.recording:
+            parent = None
+        self._next_id += 1
+        span = Span(
+            self,
+            self._next_id,
+            parent.span_id if parent is not None else -1,
+            name,
+            txn_id if txn_id is not None else (
+                parent.txn_id if parent is not None else None
+            ),
+            self.now(),
+            tags,
+        )
+        self._open[span.span_id] = span
+        return span
+
+    def instant(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        txn_id: Optional[int] = None,
+        **tags: Any,
+    ):
+        """A zero-duration point event (scheduler routing decisions, ...)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None and not parent.recording:
+            parent = None
+        self._next_id += 1
+        span = Span(
+            self,
+            self._next_id,
+            parent.span_id if parent is not None else -1,
+            name,
+            txn_id,
+            self.now(),
+            tags,
+            instant=True,
+        )
+        self._record(span)
+        return span
+
+    # -- sink ------------------------------------------------------------------------
+    def _record(self, span: Span) -> None:
+        self._open.pop(span.span_id, None)
+        self.log.append(span)
+        self.finished_count += 1
+        if span.instant:
+            self.instant_count += 1
+        else:
+            self.stages.record(span.name, span.end - span.start)
+
+    # -- inspection -------------------------------------------------------------------
+    def open_spans(self) -> List[Span]:
+        """Spans started but not yet finished (must be [] at quiescence)."""
+        return list(self._open.values())
+
+    def finished(self) -> List[Span]:
+        """Finished spans still in the ring, oldest first."""
+        return self.log.spans()
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.log if s.name == name]
+
+    def orphans(self) -> List[Span]:
+        """Finished spans whose parent is neither finished nor open.
+
+        Only meaningful while the ring has not dropped anything — eviction
+        removes parents before children, so callers gate on
+        ``log.dropped == 0``.
+        """
+        known = {s.span_id for s in self.log}
+        known.update(self._open)
+        return [s for s in self.log if s.parent_id != -1 and s.parent_id not in known]
+
+    def stage_table(self, stages=None) -> str:
+        """The per-stage p50/p95/p99 latency table (paper Fig. 6 shape)."""
+        return self.stages.table(stages)
+
+    def reset(self) -> None:
+        """Drop all recorded state (between benchmark phases)."""
+        self.log = TraceLog(self.log.capacity)
+        self.stages = StageHistograms()
+        self._open.clear()
+        self.finished_count = 0
+        self.instant_count = 0
+
+
+#: Shared disabled tracer: the default for components built stand-alone.
+NULL_TRACER = Tracer(enabled=False)

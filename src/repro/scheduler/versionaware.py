@@ -28,6 +28,7 @@ from repro.common.ids import NodeId
 from repro.common.rng import RngStream
 from repro.common.versions import VersionVector
 from repro.core.conflictclass import ConflictClassMap
+from repro.obs import NULL_TRACER, Tracer
 from repro.scheduler.querylog import LoggedUpdate, QueryLog
 
 
@@ -68,6 +69,10 @@ class VersionAwareScheduler:
         self.reads_on_master = reads_on_master
         self.spare_read_fraction = spare_read_fraction
         self.counters = counters if counters is not None else Counters()
+        #: Set by the cluster when tracing is enabled; routing decisions
+        #: become instant events so a trace shows *why* a read landed where
+        #: it did (affinity hit, spare diversion, least-loaded fallback).
+        self.tracer: Tracer = NULL_TRACER
         self.latest = VersionVector()
         self.slaves: Dict[NodeId, SlaveState] = {}
         self.masters: Set[NodeId] = set(conflict_map.masters_in_use())
@@ -98,6 +103,10 @@ class VersionAwareScheduler:
     def route_update(self, tables: Iterable[str]) -> NodeId:
         master = self.conflict_map.master_for_tables(tables)
         self.counters.add("sched.updates_routed")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "route", kind="update", node=master, scheduler=self.scheduler_id
+            )
         return master
 
     def route_read(self, tables: Sequence[str]) -> RoutedRead:
@@ -109,12 +118,17 @@ class VersionAwareScheduler:
             if self.rng.random() < self.spare_read_fraction:
                 spare = min(spares, key=lambda s: (s.outstanding, s.node_id))
                 self.counters.add("sched.reads_to_spares")
-                return self._assign(spare, tag)
+                return self._assign(spare, tag, reason="spare-diversion")
         candidates = self.active_slaves()
         if self.reads_on_master and not candidates:
             for master in sorted(self.masters):
                 if not self.conflict_map.conflicts_with_master(master, tables):
                     self.counters.add("sched.reads_on_master")
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "route", kind="read", node=master,
+                            scheduler=self.scheduler_id, reason="read-on-master",
+                        )
                     return RoutedRead(master, tag)
         if not candidates:
             raise NodeUnavailable("no active slaves available for read routing")
@@ -124,11 +138,21 @@ class VersionAwareScheduler:
         if same_version:
             self.counters.add("sched.reads_version_affinity")
         chosen = min(pool, key=lambda s: (s.outstanding, s.node_id))
-        return self._assign(chosen, tag)
+        return self._assign(
+            chosen, tag,
+            reason="version-affinity" if same_version else "least-loaded",
+        )
 
-    def _assign(self, state: SlaveState, tag: VersionVector) -> RoutedRead:
+    def _assign(
+        self, state: SlaveState, tag: VersionVector, reason: str = "least-loaded"
+    ) -> RoutedRead:
         state.outstanding += 1
         state.last_tag = tag
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "route", kind="read", node=state.node_id,
+                scheduler=self.scheduler_id, reason=reason, tag=tag.as_dict(),
+            )
         return RoutedRead(state.node_id, tag)
 
     def note_read_done(self, node_id: NodeId) -> None:

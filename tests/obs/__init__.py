@@ -1,0 +1,17 @@
+"""Span-based test helpers: assert on trace structure, not sleeps/counters."""
+
+from tests.obs.asserts import (
+    assert_all_closed,
+    assert_no_span_overlap,
+    assert_span_order,
+    children_of,
+    spans_for_txn,
+)
+
+__all__ = [
+    "assert_all_closed",
+    "assert_no_span_overlap",
+    "assert_span_order",
+    "children_of",
+    "spans_for_txn",
+]

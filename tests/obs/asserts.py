@@ -1,0 +1,117 @@
+"""Assertion helpers over :mod:`repro.obs` span logs.
+
+Integration tests assert on the *causal structure* of a run — "the apply
+span started after the reader arrived", "every retransmit nests under its
+broadcast" — instead of sleeping or diffing counter totals.  These helpers
+turn a tracer (or a plain list of spans) into those assertions with
+failure messages that print the offending spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.obs import Span, Tracer
+
+
+def _spans(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
+    spans = source.finished() if isinstance(source, Tracer) else list(source)
+    return sorted(spans, key=lambda s: (s.start, s.span_id))
+
+
+def spans_for_txn(
+    source: Union[Tracer, Iterable[Span]], txn_id: int, node: Optional[str] = None
+) -> List[Span]:
+    """All finished spans of one transaction, ordered by (start, id).
+
+    Transaction ids are allocated per engine, so two transactions on
+    different nodes can share an id.  When the log holds root (``txn``)
+    spans, the result is the span *tree* under the matching roots —
+    disambiguate colliding ids by passing the root's ``node`` tag.  Logs
+    without root spans (component-level tests) fall back to a flat
+    ``txn_id`` filter.
+    """
+    spans = _spans(source)
+    roots = [
+        s
+        for s in spans
+        if s.parent_id == -1
+        and s.name == "txn"
+        and s.txn_id == txn_id
+        and (node is None or s.tags.get("node") == node)
+    ]
+    if not roots:
+        return [s for s in spans if s.txn_id == txn_id]
+    by_parent: dict = {}
+    for s in spans:
+        by_parent.setdefault(s.parent_id, []).append(s)
+    collected: List[Span] = []
+    seen = set()
+    stack = list(roots)
+    while stack:
+        span = stack.pop()
+        if span.span_id in seen:
+            continue
+        seen.add(span.span_id)
+        collected.append(span)
+        stack.extend(by_parent.get(span.span_id, []))
+    return sorted(collected, key=lambda s: (s.start, s.span_id))
+
+
+def children_of(source: Union[Tracer, Iterable[Span]], parent: Span) -> List[Span]:
+    """Finished direct children of ``parent``, ordered by (start, id)."""
+    return [s for s in _spans(source) if s.parent_id == parent.span_id]
+
+
+def assert_span_order(
+    source: Union[Tracer, Iterable[Span]], *names: str, txn_id: Optional[int] = None
+) -> List[Span]:
+    """Assert ``names`` occur as a subsequence of the start-time order.
+
+    Returns the matched spans (one per name) so callers can chain further
+    assertions on their tags.  Restricts to one transaction's spans when
+    ``txn_id`` is given.
+    """
+    spans = _spans(source)
+    if txn_id is not None:
+        spans = [s for s in spans if s.txn_id == txn_id]
+    matched: List[Span] = []
+    remaining = list(names)
+    for span in spans:
+        if remaining and span.name == remaining[0]:
+            matched.append(span)
+            remaining.pop(0)
+    if remaining:
+        observed = " -> ".join(s.name for s in spans)
+        raise AssertionError(
+            f"expected span order {' -> '.join(names)}; missing {remaining!r} "
+            f"in observed sequence [{observed}]"
+        )
+    return matched
+
+
+def assert_no_span_overlap(
+    source: Union[Tracer, Iterable[Span]], name: Optional[str] = None
+) -> None:
+    """Assert no two (non-instant) spans in the set overlap in time.
+
+    Use for stages that must serialize — e.g. the precommit spans of one
+    master under table-granularity locking, or per-page apply spans.
+    """
+    spans = [s for s in _spans(source) if not s.instant]
+    if name is not None:
+        spans = [s for s in spans if s.name == name]
+    for earlier, later in zip(spans, spans[1:]):
+        if earlier.end is not None and earlier.end > later.start:
+            raise AssertionError(
+                f"spans overlap: {earlier!r} ends at {earlier.end:g} after "
+                f"{later!r} starts at {later.start:g}"
+            )
+
+
+def assert_all_closed(source: Tracer) -> None:
+    """Assert the tracer holds no open spans (quiescence reached)."""
+    open_spans: Sequence[Span] = source.open_spans()
+    if open_spans:
+        listing = ", ".join(repr(s) for s in open_spans[:5])
+        raise AssertionError(f"{len(open_spans)} spans still open: {listing}")

@@ -145,6 +145,52 @@ class TestCounters:
         c.reset()
         assert c.get("x") == 0
 
+    def test_delta_survives_reset_mid_window(self):
+        """A counter cleared after the snapshot must yield a negative delta,
+        not silently vanish from the report."""
+        c = Counters()
+        c.add("x", 5)
+        c.add("y", 3)
+        snap = c.snapshot()
+        c.reset()
+        c.add("x", 5)  # returns to its prior value: genuinely no net change
+        delta = c.delta_since(snap)
+        assert delta == {"y": -3}
+
+    def test_delta_negative_for_cleared_counter(self):
+        c = Counters()
+        c.add("x", 7)
+        snap = c.snapshot()
+        c.reset()
+        assert c.delta_since(snap) == {"x": -7}
+
+    def test_delta_ignores_zero_valued_snapshot_keys(self):
+        c = Counters()
+        c.get("x")  # read-only access must not materialise a key
+        snap = dict(c.snapshot())
+        snap["ghost"] = 0.0
+        c.reset()
+        assert c.delta_since(snap) == {}
+
+    def test_merge_mapping(self):
+        c = Counters()
+        c.add("x", 2)
+        c.merge({"x": 3, "y": 1})
+        assert c.get("x") == 5
+        assert c.get("y") == 1
+
+    def test_merge_from_roundtrips_through_delta(self):
+        """merge(delta_since(snap)) re-applies a window exactly."""
+        a = Counters()
+        a.add("x", 5)
+        snap = a.snapshot()
+        a.add("x", 2)
+        a.add("y", 4)
+        b = Counters()
+        b.merge(snap)
+        b.merge(a.delta_since(snap))
+        assert b.snapshot() == a.snapshot()
+
     def test_iter_sorted(self):
         c = Counters()
         c.add("b")

@@ -1,0 +1,352 @@
+"""Unit tests for repro.obs: spans, tracer, histograms, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CORE_STAGES,
+    FixedBucketHistogram,
+    NULL_SPAN,
+    NULL_TRACER,
+    StageHistograms,
+    TraceLog,
+    Tracer,
+    span_to_event,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from tests.obs import (
+    assert_all_closed,
+    assert_no_span_overlap,
+    assert_span_order,
+    children_of,
+    spans_for_txn,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_tracer(**kwargs):
+    clock = FakeClock()
+    return Tracer(now=clock, **kwargs), clock
+
+
+class TestSpanLifecycle:
+    def test_span_records_start_end_and_tags(self):
+        tracer, clock = make_tracer()
+        span = tracer.span("execute", txn_id=7, node="m0")
+        clock.t = 2.5
+        span.finish(status="ok")
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration == 2.5
+        assert span.tags == {"node": "m0", "status": "ok"}
+        assert span.txn_id == 7
+
+    def test_child_inherits_txn_and_links_parent(self):
+        tracer, _ = make_tracer()
+        root = tracer.span("txn", txn_id=3)
+        child = root.child("schedule", kind="read")
+        assert child.txn_id == 3
+        assert child.parent_id == root.span_id
+        child.finish()
+        root.finish()
+        assert children_of(tracer, root) == [child]
+
+    def test_finish_is_idempotent(self):
+        tracer, clock = make_tracer()
+        span = tracer.span("execute")
+        clock.t = 1.0
+        span.finish(status="ok")
+        clock.t = 9.0
+        span.finish(status="late")
+        assert span.end == 1.0
+        assert span.tags["status"] == "ok"
+        assert tracer.finished_count == 1
+
+    def test_annotate_merges_tags(self):
+        tracer, _ = make_tracer()
+        span = tracer.span("apply", page="p1")
+        span.annotate(popped=3).annotate(popped=5, coalesced=1)
+        assert span.tags == {"page": "p1", "popped": 5, "coalesced": 1}
+
+    def test_context_manager_closes_and_flags_errors(self):
+        tracer, _ = make_tracer()
+        with tracer.span("schedule") as span:
+            pass
+        assert span.closed
+        with pytest.raises(ValueError):
+            with tracer.span("schedule") as failing:
+                raise ValueError("boom")
+        assert failing.closed
+        assert failing.tags["status"] == "error"
+        assert failing.tags["error"] == "ValueError"
+
+    def test_open_spans_tracked_until_finish(self):
+        tracer, _ = make_tracer()
+        span = tracer.span("txn")
+        assert tracer.open_spans() == [span]
+        with pytest.raises(AssertionError):
+            assert_all_closed(tracer)
+        span.finish()
+        assert tracer.open_spans() == []
+        assert_all_closed(tracer)
+
+    def test_instants_are_closed_at_birth(self):
+        tracer, clock = make_tracer()
+        clock.t = 4.0
+        inst = tracer.instant("route", node="s0")
+        assert inst.closed
+        assert inst.start == inst.end == 4.0
+        assert tracer.open_spans() == []
+        assert tracer.instant_count == 1
+
+
+class TestDisabledTracing:
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("txn") is NULL_SPAN
+        assert tracer.instant("route") is NULL_SPAN
+        assert tracer.finished_count == 0
+
+    def test_null_span_is_inert_and_chainable(self):
+        span = NULL_SPAN
+        assert span.child("x", a=1) is span
+        assert span.annotate(b=2) is span
+        assert span.finish(status="ok") is span
+        assert not span.recording
+        assert span.closed
+        with span as s:
+            assert s is span
+
+    def test_null_tracer_shared_instance_disabled(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+
+    def test_recording_parent_check_skips_null_parents(self):
+        tracer, _ = make_tracer()
+        span = tracer.span("execute", parent=NULL_SPAN)
+        assert span.parent_id == -1
+        span.finish()
+
+
+class TestTraceLog:
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        log = TraceLog(capacity=2)
+        tracer, _ = make_tracer()
+        spans = [tracer.span(f"s{i}").finish() for i in range(3)]
+        for s in spans:
+            log.append(s)
+        assert log.dropped == 1
+        assert [s.name for s in log] == ["s1", "s2"]
+        assert len(log) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_tracer_orphans_only_sound_without_drops(self):
+        tracer, _ = make_tracer(capacity=2)
+        root = tracer.span("txn")
+        for i in range(3):
+            root.child(f"c{i}").finish()
+        root.finish()
+        # The ring dropped c0; orphan detection is gated by callers.
+        assert tracer.log.dropped > 0
+
+    def test_orphans_empty_for_complete_tree(self):
+        tracer, _ = make_tracer()
+        root = tracer.span("txn")
+        root.child("schedule").finish()
+        root.finish()
+        assert tracer.orphans() == []
+
+    def test_reset_clears_everything(self):
+        tracer, _ = make_tracer()
+        tracer.span("execute").finish()
+        tracer.instant("route")
+        tracer.reset()
+        assert tracer.finished_count == 0
+        assert tracer.instant_count == 0
+        assert len(tracer.log) == 0
+        assert tracer.stages.total_count() == 0
+
+
+class TestHistograms:
+    def test_percentiles_of_known_distribution(self):
+        h = FixedBucketHistogram()
+        for _ in range(99):
+            h.record(0.001)
+        h.record(1.0)
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(0.001, rel=0.35)
+        assert h.percentile(99) == pytest.approx(0.001, rel=0.35)
+        assert h.percentile(100) == pytest.approx(1.0, rel=0.35)
+
+    def test_percentile_never_exceeds_max(self):
+        h = FixedBucketHistogram()
+        h.record(1.0)
+        for p in (50, 95, 99, 100):
+            assert h.percentile(p) <= 1.0
+
+    def test_zero_and_underflow_report_zero(self):
+        h = FixedBucketHistogram()
+        h.record(0.0)
+        assert h.percentile(50) == 0.0
+        assert h.mean() == 0.0
+
+    def test_overflow_bucket_reports_max(self):
+        h = FixedBucketHistogram()
+        h.record(99999.0)
+        assert h.percentile(50) == 99999.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram().record(-0.1)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram().percentile(101)
+
+    def test_empty_histogram_summary_is_zero(self):
+        s = FixedBucketHistogram().summary()
+        assert s["count"] == 0 and s["p95"] == 0.0
+
+    def test_merge_sums_counts_and_max(self):
+        a, b = FixedBucketHistogram(), FixedBucketHistogram()
+        a.record(0.01)
+        b.record(0.1)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_value == 0.1
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram().merge(FixedBucketHistogram(bounds=[1.0, 2.0]))
+
+    def test_stage_table_always_prints_core_stages(self):
+        stages = StageHistograms()
+        stages.record("execute", 0.002)
+        stages.record("weird_extra", 0.5)
+        table = stages.table()
+        for stage in CORE_STAGES:
+            assert stage in table
+        assert "weird_extra" in table
+
+    def test_stage_total_count(self):
+        stages = StageHistograms()
+        stages.record("a", 0.1)
+        stages.record("a", 0.2)
+        stages.record("b", 0.3)
+        assert stages.total_count() == 3
+
+
+class TestChromeExport:
+    def test_span_event_shape(self):
+        tracer, clock = make_tracer()
+        span = tracer.span("execute", txn_id=5, node="m0")
+        clock.t = 0.002
+        span.finish(status="ok")
+        event = span_to_event(span)
+        assert event["ph"] == "X"
+        assert event["ts"] == 0.0
+        assert event["dur"] == pytest.approx(2000.0)
+        assert event["pid"] == "m0"
+        assert event["tid"] == 5
+        assert event["args"]["span"] == span.span_id
+
+    def test_instant_event_shape(self):
+        tracer, _ = make_tracer()
+        inst = tracer.instant("route", node="s0")
+        event = span_to_event(inst)
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert "dur" not in event
+
+    def test_long_sequences_truncated(self):
+        tracer, _ = make_tracer()
+        span = tracer.span("precommit", pages=list(range(100))).finish()
+        args = span_to_event(span)["args"]
+        assert len(args["pages"]) == 33  # 32 items + ellipsis marker
+        assert "more" in args["pages"][-1]
+
+    def test_unjsonable_tags_become_repr(self):
+        tracer, _ = make_tracer()
+        span = tracer.span("x", obj=object()).finish()
+        doc = to_chrome_trace([span])
+        json.dumps(doc)  # must not raise
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        tracer, clock = make_tracer()
+        root = tracer.span("txn", txn_id=1)
+        clock.t = 1.0
+        root.child("schedule").finish()
+        root.finish()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), tracer)
+        doc = json.loads(path.read_text())
+        assert count == 2 == len(doc["traceEvents"])
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_dropped_spans_reported_in_other_data(self):
+        tracer, _ = make_tracer(capacity=1)
+        tracer.span("a").finish()
+        tracer.span("b").finish()
+        doc = to_chrome_trace(tracer)
+        assert doc["otherData"]["spans_dropped"] == 1
+
+
+class TestAssertHelpers:
+    def _tree(self):
+        tracer, clock = make_tracer()
+        root = tracer.span("txn", txn_id=9)
+        sched = root.child("schedule")
+        clock.t = 1.0
+        sched.finish()
+        execute = root.child("execute")
+        clock.t = 2.0
+        execute.finish()
+        clock.t = 3.0
+        root.finish()
+        other = tracer.span("txn", txn_id=10)
+        clock.t = 4.0
+        other.finish()
+        return tracer, root
+
+    def test_spans_for_txn_filters_and_orders(self):
+        tracer, _root = self._tree()
+        spans = spans_for_txn(tracer, 9)
+        assert [s.name for s in spans] == ["txn", "schedule", "execute"]
+        assert all(s.txn_id == 9 for s in spans)
+
+    def test_assert_span_order_matches_subsequence(self):
+        tracer, _root = self._tree()
+        matched = assert_span_order(tracer, "schedule", "execute", txn_id=9)
+        assert [s.name for s in matched] == ["schedule", "execute"]
+
+    def test_assert_span_order_raises_with_observed_sequence(self):
+        tracer, _root = self._tree()
+        with pytest.raises(AssertionError, match="missing.*broadcast"):
+            assert_span_order(tracer, "schedule", "broadcast", txn_id=9)
+
+    def test_assert_no_span_overlap_accepts_serial_spans(self):
+        tracer, _root = self._tree()
+        assert_no_span_overlap(tracer, name="schedule")
+
+    def test_assert_no_span_overlap_rejects_overlap(self):
+        tracer, clock = make_tracer()
+        a = tracer.span("apply")
+        clock.t = 1.0
+        b = tracer.span("apply")
+        clock.t = 2.0
+        a.finish()
+        b.finish()
+        with pytest.raises(AssertionError, match="overlap"):
+            assert_no_span_overlap(tracer, name="apply")

@@ -1,0 +1,205 @@
+"""Property-based tests reconciling the tracing layer with the counters.
+
+The tracer is a *parallel* accounting system: every materialisation emits
+an ``apply`` span tagged with the op counts the slave also feeds into its
+:class:`~repro.common.counters.Counters`.  If the two ever disagree, one
+of them is lying.  Hypothesis drives randomized transfer scripts and read
+orders and checks:
+
+* **tag/counter reconciliation** — the sums of ``applied``/``coalesced``
+  tags over all apply spans equal the slave's counter totals;
+* **span conservation** — every finished span lands in exactly one stage
+  histogram (or the instant count): no span is double-counted or lost;
+* **quiescence hygiene** — after the workload drains there are no open
+  spans and no orphans (children whose parent never reached the log);
+* **histogram sanity** — percentiles are monotone in ``p``, bounded by
+  the true extrema, and the count equals the number of records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.counters import Counters
+from repro.core import MasterReplica, SlaveReplica
+from repro.engine import Column, TableSchema
+from repro.obs import FixedBucketHistogram, Tracer
+from repro.sql import SqlExecutor
+
+ACCOUNTS = TableSchema(
+    "accounts",
+    [Column("id", "int", nullable=False), Column("balance", "int")],
+    primary_key=("id",),
+)
+
+N_ACCOUNTS = 12
+INITIAL = 100
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def tick(self, dt: float = 1.0) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def build(n_slaves=1, rows_per_page=2):
+    from repro.engine import HeapEngine
+    from repro.engine.engine import TwoPhaseLocking
+
+    master = MasterReplica(
+        "m0",
+        engine=HeapEngine(controller=TwoPhaseLocking(), rows_per_page=rows_per_page),
+    )
+    slaves = []
+    for i in range(n_slaves):
+        slave = SlaveReplica(f"s{i}", engine=HeapEngine(rows_per_page=rows_per_page))
+        slaves.append(slave)
+    rows = [{"id": i, "balance": INITIAL} for i in range(N_ACCOUNTS)]
+    for engine in [master.engine] + [s.engine for s in slaves]:
+        engine.create_table(ACCOUNTS)
+        engine.bulk_load("accounts", rows)
+    return master, slaves
+
+
+transfers = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=1, max_value=20),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def commit_transfer(master, slaves, src, dst, amount):
+    sql = SqlExecutor(master.engine)
+    txn = master.begin_update(write_tables=["accounts"])
+    sql.execute(txn, "UPDATE accounts SET balance = balance - ? WHERE id = ?", (amount, src))
+    sql.execute(txn, "UPDATE accounts SET balance = balance + ? WHERE id = ?", (amount, dst))
+    ws = master.pre_commit(txn)
+    for slave in slaves:
+        slave.receive(ws)
+    master.finalize(txn)
+    return master.current_versions()
+
+
+def traced_lazy_drain(slave, tag, tracer, clock, ids):
+    """Read every account at ``tag`` under a traced root, one txn per read."""
+    sql = SqlExecutor(slave.engine)
+    for account in ids:
+        txn = slave.begin_read_only(tag)
+        root = tracer.span("txn", txn_id=txn.txn_id, kind="read", node=slave.node_id)
+        txn.obs_span = root
+        clock.tick(0.25)
+        sql.execute(txn, "SELECT balance FROM accounts WHERE id = ?", (account,))
+        slave.engine.commit(txn)
+        clock.tick(0.25)
+        root.finish(status="committed")
+
+
+@settings(max_examples=30, deadline=None)
+@given(transfers, st.randoms(use_true_random=False))
+def test_apply_span_tags_reconcile_with_slave_counters(script, rng):
+    """sum(applied)/sum(coalesced) over apply spans == the slave's counters."""
+    master, slaves = build(n_slaves=1)
+    slave = slaves[0]
+    clock = FakeClock()
+    tracer = Tracer(now=clock)
+    final = None
+    for src, dst, amount in script:
+        final = commit_transfer(master, slaves, src, dst, amount)
+    ids = list(range(N_ACCOUNTS))
+    rng.shuffle(ids)
+    traced_lazy_drain(slave, final, tracer, clock, ids)
+    applies = tracer.spans_named("apply")
+    assert sum(s.tags["applied"] for s in applies) == slave.counters.get(
+        "slave.ops_applied"
+    )
+    assert sum(s.tags["coalesced"] for s in applies) == slave.counters.get(
+        "slave.ops_coalesced"
+    )
+    # Every buffered op was either applied or coalesced away: the span-side
+    # popped totals account for the full buffer (queues are fully drained
+    # because every page was read at the final tag).
+    assert sum(s.tags["popped"] for s in applies) == slave.counters.get(
+        "slave.ops_buffered"
+    )
+    assert not slave.pending
+
+
+@settings(max_examples=30, deadline=None)
+@given(transfers, st.randoms(use_true_random=False))
+def test_span_conservation_and_quiescence(script, rng):
+    """Stage histogram counts + instants == finished spans; nothing open."""
+    master, slaves = build(n_slaves=1)
+    slave = slaves[0]
+    clock = FakeClock()
+    tracer = Tracer(now=clock)
+    final = None
+    for src, dst, amount in script:
+        final = commit_transfer(master, slaves, src, dst, amount)
+    ids = list(range(N_ACCOUNTS))
+    rng.shuffle(ids)
+    traced_lazy_drain(slave, final, tracer, clock, ids)
+    tracer.instant("route", node=slave.node_id)  # instants count separately
+    assert tracer.stages.total_count() + tracer.instant_count == tracer.finished_count
+    assert tracer.open_spans() == []
+    assert tracer.log.dropped == 0
+    assert tracer.orphans() == []
+    # Per-stage reconciliation: each stage histogram's count equals the
+    # number of finished (non-instant) spans bearing that name.
+    by_name = {}
+    for span in tracer.finished():
+        if not span.instant:
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+    for name in tracer.stages.stage_names():
+        assert tracer.stages.get(name).count == by_name.get(name, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=60
+    )
+)
+def test_histogram_percentiles_monotone_and_bounded(samples):
+    hist = FixedBucketHistogram()
+    for value in samples:
+        hist.record(value)
+    assert hist.count == len(samples)
+    previous = 0.0
+    for p in (0, 25, 50, 75, 95, 99, 100):
+        quantile = hist.percentile(p)
+        assert quantile >= previous or quantile == 0.0
+        assert quantile <= max(samples)
+        previous = quantile
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(1, 100)),
+        max_size=40,
+    )
+)
+def test_counter_delta_roundtrip_through_reset(ops):
+    """delta_since + merge reconstruct totals even across a mid-window reset."""
+    live = Counters()
+    mirror = Counters()
+    snap = live.snapshot()
+    for i, (name, amount) in enumerate(ops):
+        live.add(name, amount)
+        if i == len(ops) // 2:
+            mirror.merge(live.delta_since(snap))
+            live.reset()
+            snap = live.snapshot()
+    mirror.merge(live.delta_since(snap))
+    totals = {}
+    for name, amount in ops:
+        totals[name] = totals.get(name, 0) + amount
+    for name, expected in totals.items():
+        assert mirror.get(name) == expected
