@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.harness import run_dmv_throughput
+from repro.bench.harness import run_dmv_throughput, run_straggler_comparison
 from repro.tpcw.mixes import MIXES
 
 
@@ -28,6 +28,18 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=60.0, help="virtual seconds")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--straggler-compare",
+        action="store_true",
+        help="run the (ack policy) x (straggler) commit-latency matrix and "
+        "write the table to benchmarks/results/straggler_ack_policies.txt",
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results/straggler_ack_policies.txt",
+        metavar="PATH",
+        help="result file for --straggler-compare",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record transaction spans; prints the per-stage latency table "
@@ -41,6 +53,29 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.straggler_compare:
+        import os
+
+        comparison = run_straggler_comparison(
+            mix_name="ordering" if args.mix == "shopping" else args.mix,
+            num_slaves=max(3, args.slaves),
+            clients=args.clients,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        table = comparison.table()
+        print(table)
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(
+                "Commit latency under one straggler: ack policy comparison\n"
+                f"(mix=ordering slaves={max(3, args.slaves)} clients={args.clients} "
+                f"duration={args.duration:g}s seed={args.seed}; straggler=s2 x12)\n\n"
+            )
+            fh.write(table + "\n")
+        print(f"results -> {args.out}")
+        return 0
+
     run = run_dmv_throughput(
         args.mix,
         num_slaves=args.slaves,
@@ -52,6 +87,7 @@ def main(argv=None) -> int:
     print(
         f"dmv mix={args.mix} slaves={args.slaves} clients={run.clients}: "
         f"wips={run.wips:.2f} p95={run.latency_p95 * 1e3:.1f}ms "
+        f"commit_p99={run.commit_p99 * 1e3:.2f}ms "
         f"aborts={run.abort_rate * 100:.2f}% completed={run.completed}"
     )
     if args.trace and run.tracer is not None:

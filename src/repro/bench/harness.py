@@ -80,6 +80,11 @@ class ThroughputRun:
     retries_by_reason: Dict[str, int] = field(default_factory=dict)
     #: The run's tracer when measured with ``trace=True`` (else None).
     tracer: Optional[object] = None
+    #: Update-commit latency percentiles in seconds (pre-commit through
+    #: ack barrier); zero for configurations without the DMV commit path.
+    commit_p50: float = 0.0
+    commit_p95: float = 0.0
+    commit_p99: float = 0.0
 
     def stage_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-stage latency summaries (empty without tracing)."""
@@ -170,7 +175,18 @@ def run_dmv_throughput(
     think_time: float = BENCH_THINK_TIME,
     seed: int = 0,
     trace: bool = False,
+    ack_policy: str = "all",
+    quorum_k: int = 1,
+    straggler: Optional[str] = None,
+    straggler_factor: float = 8.0,
+    straggler_at: float = 0.0,
 ) -> ThroughputRun:
+    """One DMV throughput step, optionally with an injected straggler.
+
+    ``straggler`` names a node whose service times are inflated by
+    ``straggler_factor`` from ``straggler_at`` onward — the gray-failure
+    setup the ack-policy comparison (§ straggler tolerance) measures.
+    """
     cluster = SimDmvCluster(
         TPCW_SCHEMAS,
         num_slaves=num_slaves,
@@ -178,16 +194,96 @@ def run_dmv_throughput(
         rows_per_page=BENCH_ROWS_PER_PAGE,
         seed=seed,
         trace=trace,
+        ack_policy=ack_policy,
+        quorum_k=quorum_k,
     )
     _load_cluster(cluster, scale, 42)
     cluster.warm_all_caches()
+    if straggler is not None:
+        cluster.sim.schedule(
+            straggler_at, cluster.set_slowdown, straggler, straggler_factor
+        )
     cluster.start_browsers(clients, MIXES[mix_name], scale, think_time_mean=think_time)
     wips, lat = _measure(cluster, duration)
+    commits = cluster.metrics.commit_latency
     return ThroughputRun(
         clients, wips, lat, cluster.metrics.abort_rate(), cluster.metrics.completed,
         replication=replication_totals(cluster),
         retries_by_reason=dict(cluster.metrics.aborts_by_reason),
         tracer=cluster.tracer if trace else None,
+        commit_p50=commits.percentile(50),
+        commit_p95=commits.percentile(95),
+        commit_p99=commits.percentile(99),
+    )
+
+
+@dataclass
+class StragglerComparison:
+    """Commit-latency matrix: (ack policy) x (straggler injected or not)."""
+
+    baseline: ThroughputRun          # all acks, healthy cluster
+    all_straggler: ThroughputRun     # all acks, one slow slave
+    quorum_baseline: ThroughputRun   # quorum acks, healthy cluster
+    quorum_straggler: ThroughputRun  # quorum acks, one slow slave
+
+    def table(self) -> str:
+        header = (
+            f"{'configuration':<26} {'wips':>8} {'commit p50':>12} "
+            f"{'commit p95':>12} {'commit p99':>12} {'p99 vs base':>12}"
+        )
+        base = self.baseline.commit_p99 or 1e-12
+        rows = [header, "-" * len(header)]
+        for label, run in (
+            ("all / healthy", self.baseline),
+            ("all / straggler", self.all_straggler),
+            ("quorum / healthy", self.quorum_baseline),
+            ("quorum / straggler", self.quorum_straggler),
+        ):
+            rows.append(
+                f"{label:<26} {run.wips:>8.1f} {run.commit_p50 * 1000:>10.3f}ms "
+                f"{run.commit_p95 * 1000:>10.3f}ms {run.commit_p99 * 1000:>10.3f}ms "
+                f"{run.commit_p99 / base:>11.2f}x"
+            )
+        return "\n".join(rows)
+
+
+def run_straggler_comparison(
+    mix_name: str = "ordering",
+    num_slaves: int = 3,
+    clients: int = 40,
+    duration: float = 60.0,
+    straggler: str = "s2",
+    straggler_factor: float = 12.0,
+    quorum_k: int = 1,
+    scale: TpcwScale = BENCH_SCALE,
+    cost: CostConfig = BENCH_COST,
+    think_time: float = BENCH_THINK_TIME,
+    seed: int = 0,
+) -> StragglerComparison:
+    """The straggler-tolerance experiment: does one slow slave drag commits?
+
+    Under ``all`` acks every update commit waits for the slowest replica,
+    so commit p99 tracks the straggler's inflation.  Under ``quorum`` acks
+    the laggard is demoted out of the ack set and commit latency stays at
+    the healthy baseline.
+    """
+    common = dict(
+        mix_name=mix_name, num_slaves=num_slaves, clients=clients,
+        duration=duration, scale=scale, cost=cost,
+        think_time=think_time, seed=seed,
+    )
+    return StragglerComparison(
+        baseline=run_dmv_throughput(**common),
+        all_straggler=run_dmv_throughput(
+            **common, straggler=straggler, straggler_factor=straggler_factor
+        ),
+        quorum_baseline=run_dmv_throughput(
+            **common, ack_policy="quorum", quorum_k=quorum_k
+        ),
+        quorum_straggler=run_dmv_throughput(
+            **common, ack_policy="quorum", quorum_k=quorum_k,
+            straggler=straggler, straggler_factor=straggler_factor,
+        ),
     )
 
 

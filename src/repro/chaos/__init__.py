@@ -23,17 +23,26 @@ from repro.chaos.faults import (
     LinkFault,
     Partition,
     ReintegrateNode,
+    Slowdown,
 )
 from repro.chaos.invariants import (
     InvariantResult,
     check_all_invariants,
+    check_buffer_bounds,
     check_counter_conservation,
     check_durable_commits,
+    check_quorum_durability,
+    check_rejoin_convergence,
     check_replica_convergence,
     check_snapshot_consistency,
 )
 from repro.chaos.network import ANY, LinkState, NetworkModel
-from repro.chaos.scenario import ChaosReport, default_chaos_plan, run_chaos_scenario
+from repro.chaos.scenario import (
+    ChaosReport,
+    default_chaos_plan,
+    run_chaos_scenario,
+    straggler_chaos_plan,
+)
 
 __all__ = [
     "ANY",
@@ -47,11 +56,16 @@ __all__ = [
     "NetworkModel",
     "Partition",
     "ReintegrateNode",
+    "Slowdown",
     "check_all_invariants",
+    "check_buffer_bounds",
     "check_counter_conservation",
     "check_durable_commits",
+    "check_quorum_durability",
+    "check_rejoin_convergence",
     "check_replica_convergence",
     "check_snapshot_consistency",
     "default_chaos_plan",
     "run_chaos_scenario",
+    "straggler_chaos_plan",
 ]

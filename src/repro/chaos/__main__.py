@@ -10,7 +10,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.chaos.scenario import run_chaos_scenario
+from repro.chaos.scenario import (
+    default_chaos_plan,
+    run_chaos_scenario,
+    straggler_chaos_plan,
+)
 
 
 def main(argv=None) -> int:
@@ -21,6 +25,25 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=200.0, help="virtual seconds")
     parser.add_argument("--browsers", type=int, default=16, help="emulated browsers")
     parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
+    parser.add_argument(
+        "--plan",
+        choices=("default", "straggler"),
+        default="default",
+        help="fault plan: 'default' (loss + partition + master crash) or "
+        "'straggler' (lossy fabric + one slow-but-alive slave)",
+    )
+    parser.add_argument(
+        "--ack-policy",
+        choices=("all", "quorum", "all-healthy"),
+        default="all",
+        help="pre-commit ack policy (non-default policies enable laggard demotion)",
+    )
+    parser.add_argument(
+        "--quorum-k",
+        type=int,
+        default=1,
+        help="slave acks required per commit under --ack-policy quorum",
+    )
     parser.add_argument(
         "--min-commits",
         type=int,
@@ -47,12 +70,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    plan_builder = {
+        "default": default_chaos_plan,
+        "straggler": straggler_chaos_plan,
+    }[args.plan]
     report = run_chaos_scenario(
         seed=args.seed,
+        plan=plan_builder(args.seed, args.duration),
         duration=args.duration,
         browsers=args.browsers,
         mix_name=args.mix,
         trace=args.trace,
+        ack_policy=args.ack_policy,
+        quorum_k=args.quorum_k,
     )
     print(report.summary())
     if args.trace and report.tracer is not None:

@@ -56,6 +56,42 @@ class ReintegrateNode:
 
 
 @dataclass(frozen=True)
+class Slowdown:
+    """Gray failure: inflate one node's service times from ``at``.
+
+    Unlike :class:`CrashNode` the victim keeps answering heartbeats — it
+    is merely slow (degraded disk, saturated link, GC pauses), which is
+    exactly the failure mode all-slave ack barriers cannot tolerate and
+    quorum acks + laggard demotion are built for.  ``until=None`` leaves
+    the node degraded forever.
+    """
+
+    at: float
+    node_id: str
+    factor: float = 8.0
+    until: Optional[float] = None
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.set_slowdown,
+            self.node_id,
+            self.factor,
+        )
+        if self.until is not None:
+            cluster.sim.schedule(
+                max(0.0, self.until - cluster.sim.now()),
+                cluster.set_slowdown,
+                self.node_id,
+                1.0,
+            )
+
+    def describe(self) -> str:
+        window = f"..{self.until:g}s" if self.until is not None else ".."
+        return f"t={self.at:g}s{window} slowdown node {self.node_id} x{self.factor:g}"
+
+
+@dataclass(frozen=True)
 class CrashScheduler:
     """Kill one scheduler agent at ``at`` (peers take over, §4.1)."""
 

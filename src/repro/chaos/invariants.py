@@ -177,6 +177,129 @@ def check_counter_conservation(cluster) -> InvariantResult:
     return InvariantResult("counter-conservation", True, detail)
 
 
+def check_buffer_bounds(cluster) -> InvariantResult:
+    """Slave write-set buffers stayed bounded and their accounting is exact.
+
+    Two properties per alive replica:
+
+    * the running ``pending_ops`` counter matches a full recount of the
+      per-page queues (the O(1) watermark checks demotion relies on never
+      drifted from the truth);
+    * when a buffer cap is configured, the lifetime peak never exceeded
+      the cap by more than one write-set (the cap is checked after each
+      buffered frame, so a single in-flight write-set is the only
+      permitted overshoot).
+    """
+    cfg = cluster.cost.config
+    cap = getattr(cfg, "slave_buffer_max_ops", 0)
+    slack = getattr(cluster, "_max_ws_ops", 0)
+    problems: List[str] = []
+    audited = 0
+    for node in cluster.nodes.values():
+        if not node.alive or node.slave is None:
+            continue
+        audited += 1
+        slave = node.slave
+        recount = slave.pending_op_count()
+        if slave.pending_ops != recount:
+            problems.append(
+                f"{node.node_id}: pending_ops={slave.pending_ops} "
+                f"but recount={recount}"
+            )
+        if slave.pending_ops < 0:
+            problems.append(f"{node.node_id}: negative pending_ops")
+        if cap and slave.pending_ops_peak > cap + slack:
+            problems.append(
+                f"{node.node_id}: peak {slave.pending_ops_peak} ops exceeded "
+                f"cap {cap} (+{slack} slack)"
+            )
+    if problems:
+        return InvariantResult("buffer-bounds", False, "; ".join(problems[:5]))
+    detail = f"{audited} replicas audited" + (f", cap={cap}" if cap else ", uncapped")
+    return InvariantResult("buffer-bounds", True, detail)
+
+
+def check_rejoin_convergence(cluster) -> InvariantResult:
+    """Every once-demoted node reconverged (or legitimately could not).
+
+    A node that was demoted as a laggard must, by quiescence, have either
+    rejoined fully (subscribed, out of catch-up, undemoted — at which
+    point replica-convergence and snapshot-consistency audit its content)
+    or have a standing excuse: it crashed, or its slowdown fault is still
+    in force.  A healthy, alive node stuck demoted means rejoin wedged.
+    """
+    ever = getattr(cluster, "_ever_demoted", set())
+    if not ever:
+        return InvariantResult("rejoin-convergence", True, "no demotions occurred")
+    stuck: List[str] = []
+    rejoined = 0
+    excused = 0
+    for node_id in sorted(ever):
+        node = cluster.nodes.get(node_id)
+        if node is None or not node.alive:
+            excused += 1  # crashed while demoted: reintegration owns it
+            continue
+        if getattr(node, "slowdown", 1.0) > 1.0:
+            excused += 1  # still degraded: staying demoted is correct
+            continue
+        if cluster.is_demoted(node_id):
+            stuck.append(f"{node_id}: healthy but still demoted")
+        elif node.slave is not None and node.slave.catching_up:
+            stuck.append(f"{node_id}: catch-up never finished")
+        elif node.slave is not None and not node.subscribed:
+            stuck.append(f"{node_id}: rejoined but unsubscribed")
+        else:
+            rejoined += 1
+    if stuck:
+        return InvariantResult("rejoin-convergence", False, "; ".join(stuck[:5]))
+    return InvariantResult(
+        "rejoin-convergence",
+        True,
+        f"{len(ever)} demoted node(s): {rejoined} rejoined, {excused} excused",
+    )
+
+
+def check_quorum_durability(cluster) -> InvariantResult:
+    """No confirmed commit was lost, even with stragglers outside the quorum.
+
+    Stronger than durable-commits in one way: it audits *all* alive nodes
+    — including promoted masters, whose ``slave is None`` makes them
+    invisible to the other content checkers — and requires every
+    browser-acknowledged commit's versions to survive somewhere.  Under
+    ``all`` acks this is implied by durable-commits; under ``quorum`` it
+    is the property the freshest-candidate election exists to protect.
+    """
+    alive = [n for n in cluster.nodes.values() if n.alive]
+    if not alive:
+        return InvariantResult("quorum-no-lost-commits", True, "no alive nodes")
+    lost: List[str] = []
+    tables = {
+        table
+        for _master, _txn, versions in cluster.commit_log
+        for table in versions
+    }
+    best: Dict[str, int] = {
+        table: max(_table_watermark(node, table) for node in alive)
+        for table in tables
+    }
+    for master_id, txn_id, versions in cluster.commit_log:
+        for table, version in versions.items():
+            if best.get(table, 0) < version:
+                lost.append(
+                    f"txn {txn_id} ({master_id}, {table}=v{version}) survives "
+                    f"nowhere (cluster max v{best.get(table, 0)})"
+                )
+    if lost:
+        shown = "; ".join(lost[:5])
+        extra = f" (+{len(lost) - 5} more)" if len(lost) > 5 else ""
+        return InvariantResult("quorum-no-lost-commits", False, f"{shown}{extra}")
+    return InvariantResult(
+        "quorum-no-lost-commits",
+        True,
+        f"{len(cluster.commit_log)} commits covered across {len(alive)} alive nodes",
+    )
+
+
 def check_trace_hygiene(cluster) -> InvariantResult:
     """At quiescence every span is closed and every span is accounted for.
 
@@ -232,6 +355,9 @@ def check_all_invariants(
         check_replica_convergence(cluster),
         check_snapshot_consistency(cluster, sample_tables),
         check_counter_conservation(cluster),
+        check_buffer_bounds(cluster),
+        check_rejoin_convergence(cluster),
+        check_quorum_durability(cluster),
     ]
     tracer = getattr(cluster, "tracer", None)
     if tracer is not None and tracer.enabled:

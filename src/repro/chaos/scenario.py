@@ -24,6 +24,7 @@ from repro.chaos.faults import (
     LinkFault,
     Partition,
     ReintegrateNode,
+    Slowdown,
 )
 from repro.chaos.invariants import InvariantResult, check_all_invariants
 from repro.common.counters import Counters
@@ -40,6 +41,14 @@ CHAOS_COUNTERS = (
     "net.suspicions",
     "sched.queued_updates",
     "sched.deadline_rejects",
+    "net.quorum_commits",
+    "net.quorum_saves",
+    "net.acks_skipped_demoted",
+    "slave.demotions",
+    "slave.rejoins",
+    "slave.replay_write_sets",
+    "slave.forced_drains",
+    "sched.shed_requests",
 )
 
 
@@ -122,6 +131,27 @@ def default_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
     )
 
 
+def straggler_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """Gray-failure soak: one slave turns slow (never crashes) under mild loss.
+
+    * 2 % drop + 0.5 % duplication fabric-wide (cleared at 75 % so the
+      retransmission machinery is exercised but drains before quiescence);
+    * slave ``s2`` runs 12x slow from 10 % to 70 % of the run.  Under
+      ``all`` acks every commit waits for it; under ``quorum`` acks the
+      laggard detector demotes it, commits proceed on the quorum, and the
+      probe monitor re-integrates it once the slowdown lifts — all of
+      which must finish before the invariant audit.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=t(0.75)),
+            Slowdown(at=t(0.1), node_id="s2", factor=12.0, until=t(0.7)),
+        ),
+    )
+
+
 def run_chaos_scenario(
     seed: int = 0,
     plan: Optional[FaultPlan] = None,
@@ -134,6 +164,9 @@ def run_chaos_scenario(
     num_schedulers: int = 2,
     scale=None,
     trace: bool = False,
+    ack_policy: str = "all",
+    quorum_k: int = 1,
+    cost_config=None,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
@@ -156,8 +189,11 @@ def run_chaos_scenario(
         TPCW_SCHEMAS,
         num_slaves=num_slaves,
         num_schedulers=num_schedulers,
+        cost_config=cost_config,
         seed=seed,
         trace=trace,
+        ack_policy=ack_policy,
+        quorum_k=quorum_k,
     )
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()

@@ -58,6 +58,35 @@ class CostConfig:
     #: its conflict class's master is being reconfigured before it is
     #: rejected with a deadline error.
     update_queue_deadline: float = 15.0
+    #: Backpressure: maximum updates parked on the reconfiguration waiter
+    #: queue per master before further arrivals are shed with a retryable
+    #: ``queue-shed`` rejection (0 = unbounded, today's behaviour).
+    update_queue_limit: int = 0
+    # -- straggler tolerance (laggard demotion; active when ack_policy != "all") ------
+    #: Unacked write-sets queued on one master->slave channel before the
+    #: target is considered a laggard (backlog high watermark, entries).
+    laggard_backlog_entries: int = 64
+    #: Unacked bytes queued on one channel before laggard demotion (backlog
+    #: high watermark, bytes).
+    laggard_backlog_bytes: int = 1 << 20
+    #: A slave's ack-latency EWMA must exceed the cluster-wide EWMA by this
+    #: factor to count as an outlier sample.
+    laggard_ack_factor: float = 4.0
+    #: Consecutive outlier samples before a slave is demoted (sustained
+    #: outlier, not one slow ack).
+    laggard_sustain: int = 8
+    #: Slave-side buffer cap: pending (buffered, unapplied) ops on one
+    #: replica before it is demoted to catch-up mode (0 = unbounded).
+    slave_buffer_max_ops: int = 0
+    #: Health-probe period of the laggard monitor (also paces rejoin).
+    laggard_probe_interval: float = 1.0
+    #: Op count of one synthetic health probe (sized like a small batch).
+    laggard_probe_ops: int = 8
+    #: Consecutive healthy probes before a demoted node is re-integrated.
+    rejoin_probes: int = 3
+    #: A probe is healthy when its service time is below this multiple of
+    #: the undegraded probe cost.
+    rejoin_health_factor: float = 2.0
     #: Browser retry backoff: first delay and ceiling of the per-browser
     #: jittered exponential backoff.
     browser_backoff_base: float = 0.05

@@ -17,6 +17,7 @@ from repro.common.errors import NodeUnavailable, TransactionAborted
 from repro.common.rng import RngStream
 from repro.cluster.costs import CostConfig, CostModel
 from repro.cluster.simnodes import DiskDbNode, InMemoryDbNode, SimNode
+from repro.cluster.straggler import LaggardDetector
 from repro.core.conflictclass import ConflictClassMap
 from repro.engine.schema import TableSchema
 from repro.failover.recovery import (
@@ -44,6 +45,10 @@ class Metrics:
     wips: WindowedRate = field(default_factory=lambda: WindowedRate(window=20.0, name="wips"))
     latency: Histogram = field(default_factory=lambda: Histogram("latency"))
     latency_series: TimeSeries = field(default_factory=lambda: TimeSeries("latency"))
+    #: Commit-path latency of replicated update commits (pre-commit through
+    #: ack barrier) — the distribution a straggler slave distorts under
+    #: all-slave acks and a quorum protects.
+    commit_latency: Histogram = field(default_factory=lambda: Histogram("commit"))
     completed: int = 0
     retried: int = 0
     failed: int = 0
@@ -219,9 +224,9 @@ class SchedulerAgent:
 class PendingSend:
     """One write-set in flight on a replication channel (ack + attempt count)."""
 
-    __slots__ = ("write_set", "ack", "attempts", "span", "retry_span")
+    __slots__ = ("write_set", "ack", "attempts", "span", "retry_span", "enqueued_at")
 
-    def __init__(self, write_set, ack, span=NULL_SPAN) -> None:
+    def __init__(self, write_set, ack, span=NULL_SPAN, enqueued_at=0.0) -> None:
         self.write_set = write_set
         self.ack = ack
         self.attempts = 0
@@ -229,6 +234,9 @@ class PendingSend:
         #: final failure); retransmission attempts nest under it.
         self.span = span
         self.retry_span = NULL_SPAN
+        #: Virtual enqueue time — the laggard detector's ack-latency samples
+        #: measure enqueue-to-ack, which is what a committing master waits.
+        self.enqueued_at = enqueued_at
 
 
 class ReplicationChannel:
@@ -273,8 +281,22 @@ class ReplicationChannel:
             seq=write_set.seq,
             bytes=write_set.byte_size(),
         )
-        pending = PendingSend(write_set, self.cluster.sim.event(), span)
+        pending = PendingSend(
+            write_set, self.cluster.sim.event(), span,
+            enqueued_at=self.cluster.sim.now(),
+        )
         self._outbox.append(pending)
+        ops = len(write_set.ops)
+        if ops > self.cluster._max_ws_ops:
+            self.cluster._max_ws_ops = ops
+        if self.cluster.straggler_active:
+            # Backlog watermark: an outbox this deep means the target is not
+            # keeping up with the broadcast rate — demote it rather than let
+            # the unacked queue (and every commit's ack wait) grow unbounded.
+            entries = len(self._outbox)
+            nbytes = sum(p.write_set.byte_size() for p in self._outbox)
+            if self.cluster.laggard.backlog_verdict(entries, nbytes):
+                self.cluster.demote_slave(self.target.node_id, reason="backlog")
         self._kick()
         return pending.ack
 
@@ -306,12 +328,28 @@ class ReplicationChannel:
         try:
             while self._outbox:
                 batch, self._outbox = self._outbox, []
-                if not target.alive or target.slave is None:
-                    # Fail fast on a dead (or promoted) target: no payload
-                    # bytes and no batch delay are charged — the attempts
-                    # count as sent-and-dropped so conservation holds.
+                if (
+                    not target.alive
+                    or target.slave is None
+                    or cluster.is_demoted(target.node_id)
+                ):
+                    # Fail fast on a dead (or promoted, or demoted) target:
+                    # no payload bytes and no batch delay are charged — the
+                    # attempts count as sent-and-dropped so conservation
+                    # holds.  A demoted laggard catches up via page
+                    # migration at rejoin, not via this stream.
+                    demoted_alive = (
+                        target.alive and cluster.is_demoted(target.node_id)
+                    )
                     for pending in batch:
                         counters.add("net.write_sets_sent")
+                        if demoted_alive:
+                            # Enqueued before the demotion: the broadcast
+                            # site never logged it, so retain it here or
+                            # the rejoin gap replay would miss it.
+                            cluster._replay_log[
+                                pending.write_set.dedup_key()
+                            ] = pending.write_set
                         self._drop(pending, counters)
                         self._finish(pending, False)
                     continue
@@ -332,6 +370,17 @@ class ReplicationChannel:
                 requeue: List[PendingSend] = []
                 for idx, pending in enumerate(batch):
                     counters.add("net.write_sets_sent")
+                    if cluster.is_demoted(target.node_id):
+                        # Demoted mid-batch (buffer cap tripped on an
+                        # earlier frame): the remainder fast-fails, but is
+                        # retained for the rejoin gap replay.
+                        if target.alive:
+                            cluster._replay_log[
+                                pending.write_set.dedup_key()
+                            ] = pending.write_set
+                        self._drop(pending, counters)
+                        self._finish(pending, False)
+                        continue
                     if lossy and link.drops():
                         # Data frame lost in flight.  Slaves apply write-sets
                         # (and maintain indexes) strictly in version order,
@@ -352,6 +401,44 @@ class ReplicationChannel:
                         counters.add("net.write_sets_sent")
                         target.deliver_write_set(pending.write_set)
                     if outcome == "ok":
+                        if (
+                            cluster.straggler_active
+                            and cfg.slave_buffer_max_ops
+                            and target.slave is not None
+                            and target.slave.pending_ops > cfg.slave_buffer_max_ops
+                        ):
+                            # Slave-side buffer cap: the write-set IS
+                            # buffered (counted received), but crossing the
+                            # high watermark demotes the replica so the
+                            # backlog stops growing here.
+                            cluster.demote_slave(target.node_id, reason="buffer-cap")
+                            if (
+                                not cluster.is_demoted(target.node_id)
+                                and not target.slave.catching_up
+                                and target.slave.pending_ops
+                                > cfg.slave_buffer_max_ops
+                            ):
+                                # Demotion vetoed (last subscribed slave):
+                                # shed load by eagerly applying the
+                                # confirmed prefix instead of buffering
+                                # deeper.  The residue is the unconfirmed
+                                # in-flight tail, which cannot be applied.
+                                try:
+                                    confirmed = cluster.scheduler.latest
+                                except NodeUnavailable:
+                                    confirmed = None
+                                if confirmed is not None:
+                                    drained = target.slave.drain_to(confirmed)
+                                    if drained:
+                                        counters.add(
+                                            "slave.forced_drains"
+                                        )
+                                        counters.add(
+                                            "slave.ops_force_drained", drained
+                                        )
+                                        yield target.job(
+                                            target.apply_cost(drained), "drain"
+                                        )
                         try:
                             yield target.job(
                                 target.receive_cost(len(pending.write_set.ops)), "recv"
@@ -378,6 +465,17 @@ class ReplicationChannel:
                     else:
                         for pending in delivered:
                             self._finish(pending, True)
+                        if cluster.straggler_active:
+                            now = sim.now()
+                            detector = cluster.laggard
+                            for pending in delivered:
+                                detector.observe_ack(
+                                    target.node_id, now - pending.enqueued_at
+                                )
+                            if detector.ack_latency_verdict(target.node_id):
+                                cluster.demote_slave(
+                                    target.node_id, reason="ack-latency"
+                                )
                 if requeue:
                     yield from self._backoff_and_requeue(requeue)
         finally:
@@ -453,7 +551,18 @@ class SimDmvCluster:
         gc_period: float = 60.0,
         trace: bool = False,
         trace_capacity: int = 1 << 16,
+        ack_policy: str = "all",
+        quorum_k: int = 1,
     ) -> None:
+        if ack_policy not in ("all", "quorum", "all-healthy"):
+            raise ValueError(f"unknown ack policy {ack_policy!r}")
+        #: Pre-commit acknowledgement policy: ``all`` (paper behaviour —
+        #: every subscribed slave must ack), ``quorum`` (any ``quorum_k``
+        #: slave acks suffice) or ``all-healthy`` (all non-demoted slaves).
+        #: Laggard demotion runs only under the non-default policies, so an
+        #: ``all`` cluster is event-for-event identical to the seed.
+        self.ack_policy = ack_policy
+        self.quorum_k = max(1, quorum_k)
         self.sim = Simulator()
         #: Transaction-lifecycle tracer on the virtual clock.  Disabled by
         #: default: the null fast path adds no events to the kernel, so a
@@ -532,7 +641,28 @@ class SimDmvCluster:
         self.commit_log: List[Tuple[str, int, Dict[str, int]]] = []
         self._browsers: List = []
         self._stop_browsers = False
+        #: Laggard bookkeeping.  The detector is pure state (no events, no
+        #: counters), so constructing it never perturbs a seeded run; the
+        #: monitor daemon that acts on it is spawned only for non-default
+        #: ack policies to keep the ``all`` event stream bit-identical.
+        self.laggard = LaggardDetector(self.cost.config)
+        #: node_id -> open ``demote`` span for currently demoted slaves.
+        self._demoted: Dict[str, object] = {}
+        #: Every node that was ever demoted (rejoin-convergence invariant).
+        self._ever_demoted: set = set()
+        #: Write-sets retained while any node is demoted, keyed by dedup
+        #: identity.  A demoted node's channel drops broadcasts, and the
+        #: migration support for its rejoin may not have received them yet
+        #: either (quorum acks confirm commits before every slave has the
+        #: data) — replaying this log at rejoin closes that gap.  Cleared
+        #: as soon as no node is demoted.
+        self._replay_log: Dict[Tuple, "WriteSet"] = {}
+        #: Largest write-set (ops) ever broadcast — the slack the buffer
+        #: bound invariant allows above the configured cap.
+        self._max_ws_ops = 0
         self.sim.spawn(self._failure_detector(), name="failure-detector")
+        if self.straggler_active:
+            self.sim.spawn(self._laggard_monitor(), name="laggard-monitor")
         if checkpoint_period > 0:
             self.sim.spawn(self._checkpoint_daemon(checkpoint_period), name="checkpointer")
         if pageid_ship_every > 0:
@@ -696,6 +826,19 @@ class SimDmvCluster:
             if not self._may_recover(master_id):
                 raise unavailable
             if not queued:
+                limit = self.cost.config.update_queue_limit
+                if limit and len(self._update_waiters) >= limit:
+                    # Bounded waiter queue: beyond the cap new arrivals are
+                    # shed immediately with a retryable rejection instead of
+                    # parking — the browser backs off and retries, and the
+                    # queue cannot grow without bound through a long
+                    # reconfiguration.
+                    self.counters.add("sched.shed_requests")
+                    shed = NodeUnavailable(
+                        "update admission queue full during reconfiguration"
+                    )
+                    shed.reason = "queue-shed"
+                    raise shed
                 queued = True
                 self.counters.add("sched.queued_updates")
             remaining = deadline - self.sim.now()
@@ -734,6 +877,146 @@ class SimDmvCluster:
             if not waiter.triggered:
                 waiter.succeed(None)
 
+    # -- straggler tolerance (laggard demotion + rejoin) ---------------------------------------
+    @property
+    def straggler_active(self) -> bool:
+        """True when laggard demotion machinery may act (non-``all`` policy)."""
+        return self.ack_policy != "all"
+
+    def is_demoted(self, node_id: str) -> bool:
+        return node_id in self._demoted
+
+    def set_slowdown(self, node_id: str, factor: float) -> None:
+        """Chaos ``slowdown`` fault: inflate one node's service times."""
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.slowdown = max(1.0, factor)
+
+    def demote_slave(self, node_id: str, reason: str = "laggard") -> bool:
+        """Demote a laggard slave to catch-up mode (out of the ack set).
+
+        The demoted replica stays alive and keeps answering heartbeats —
+        this is the gray-failure path, distinct from fail-stop.  Its
+        buffered-but-unconfirmed tail is discarded (rejoin re-fetches
+        everything via page migration), it is unsubscribed from the
+        broadcast, and the scheduler stops routing fresh-version reads to
+        it.  Refused when it is the last subscribed slave: the cluster
+        must always keep a failover candidate.
+        """
+        node = self.nodes.get(node_id)
+        if (
+            node is None
+            or not node.alive
+            or node.slave is None
+            or node.master is not None
+            or node_id in self._demoted
+            or node.slave.catching_up
+            or not node.subscribed
+        ):
+            return False
+        others = [
+            n
+            for n in self.nodes.values()
+            if n.node_id != node_id
+            and n.alive
+            and n.slave is not None
+            and n.master is None
+            and n.subscribed
+            and not n.slave.catching_up
+        ]
+        if not others:
+            self.counters.add("slave.demotions_vetoed")
+            return False
+        try:
+            confirmed = self.scheduler.latest
+        except NodeUnavailable:
+            return False
+        # Everything left buffered after this is confirmed history, so a
+        # later rejoin can safely apply it; the unconfirmed tail returns
+        # via migrated pages instead.
+        node.slave.discard_above(confirmed)
+        node.subscribed = False
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.set_demoted(node_id, True)
+        self.laggard.forget(node_id)
+        self._demoted[node_id] = self.tracer.span(
+            "demote", node=node_id, reason=reason
+        )
+        self._ever_demoted.add(node_id)
+        self.counters.add("slave.demotions")
+        return True
+
+    def _laggard_monitor(self):
+        """Probe demoted slaves and re-integrate the ones that recovered.
+
+        Each period every demoted, still-alive slave gets one synthetic
+        receive-sized health probe; its service time reflects the node's
+        current degradation.  ``rejoin_probes`` consecutive healthy probes
+        trigger rejoin through a drain barrier + data migration.
+        """
+        cfg = self.cost.config
+        healthy: Dict[str, int] = {}
+        while True:
+            yield self.sim.timeout(cfg.laggard_probe_interval)
+            for node_id in list(self._demoted):
+                node = self.nodes.get(node_id)
+                if node is None or not node.alive or node.slave is None:
+                    # Crashed (or promoted) while demoted: the heartbeat
+                    # detector owns it now.
+                    healthy.pop(node_id, None)
+                    continue
+                baseline = self.cost.receive_cpu(cfg.laggard_probe_ops)
+                start = self.sim.now()
+                try:
+                    yield node.job(node.receive_cost(cfg.laggard_probe_ops), "probe")
+                except (NodeUnavailable, TransactionAborted):
+                    healthy.pop(node_id, None)
+                    continue
+                took = self.sim.now() - start
+                if took <= baseline * cfg.rejoin_health_factor:
+                    healthy[node_id] = healthy.get(node_id, 0) + 1
+                else:
+                    healthy[node_id] = 0
+                if healthy.get(node_id, 0) >= cfg.rejoin_probes:
+                    healthy.pop(node_id, None)
+                    yield from self._rejoin_demoted(node_id)
+
+    def _rejoin_demoted(self, node_id: str):
+        """Re-integrate a recovered laggard: drain barrier + migration."""
+        node = self.nodes.get(node_id)
+        if (
+            node is None
+            or not node.alive
+            or node.slave is None
+            or node_id not in self._demoted
+        ):
+            return
+        # Drain barrier: while demoted the channels to this node fast-fail,
+        # so their outboxes empty quickly; wait for them to go idle so no
+        # stale pre-demotion send can land behind the catch-up stream.
+        while any(
+            (channel._busy or channel._outbox)
+            for (_src, target_id), channel in self._channels.items()
+            if target_id == node_id
+        ):
+            yield self.sim.timeout(self.cost.config.laggard_probe_interval)
+        if not node.alive or node.slave is None:
+            return
+        timeline = FailoverTimeline(
+            failure_time=self.sim.now(), detection_time=self.sim.now()
+        )
+        # No yield between leaving the demoted set and subscribing in
+        # catch-up mode (_timed_migration's synchronous prefix), so there
+        # is no window where a broadcast could slip past both states.
+        span = self._demoted.pop(node_id)
+        yield from self._timed_migration(node, timeline)
+        timeline.migration_done = self.sim.now()
+        self.timelines.append(timeline)
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.set_demoted(node_id, False)
+        self.counters.add("slave.rejoins")
+        span.finish(status="rejoined")
+
     # -- replication ------------------------------------------------------------------------
     def commit_update(self, node: InMemoryDbNode, txn, queries):
         """Master pre-commit + eager broadcast + ack barrier (Figure 2).
@@ -746,6 +1029,7 @@ class SimDmvCluster:
         cfg = self.cost.config
         root = getattr(txn, "obs_span", NULL_SPAN)
         committed = False
+        started = self.sim.now()
         try:
             if not node.alive or not txn.active:
                 raise NodeUnavailable(f"master {node.node_id} failed before commit")
@@ -775,6 +1059,13 @@ class SimDmvCluster:
                 else:
                     pre.finish(status="read-only")
             if write_set is not None:
+                if self.straggler_active:
+                    if self._demoted:
+                        # Demoted nodes miss this broadcast entirely;
+                        # retain it for gap replay at their rejoin.
+                        self._replay_log[write_set.dedup_key()] = write_set
+                    elif self._replay_log:
+                        self._replay_log.clear()
                 acks = [
                     self._channel(node.node_id, target).send(write_set, parent_span=root)
                     for target in self.nodes.values()
@@ -783,6 +1074,14 @@ class SimDmvCluster:
                     and target.slave is not None
                     and target.subscribed
                 ]
+                if self.straggler_active and self._demoted:
+                    excluded = sum(
+                        1
+                        for node_id in self._demoted
+                        if (peer := self.nodes.get(node_id)) is not None and peer.alive
+                    )
+                    if excluded:
+                        self.counters.add("net.acks_skipped_demoted", excluded)
                 if acks:
                     ack_span = (
                         root.child("ack", node=node.node_id, replicas=len(acks))
@@ -790,7 +1089,7 @@ class SimDmvCluster:
                         else NULL_SPAN
                     )
                     try:
-                        yield self.sim.all_of(acks)
+                        yield from self._ack_barrier(acks)
                     finally:
                         if ack_span.recording:
                             ack_span.finish(
@@ -810,9 +1109,46 @@ class SimDmvCluster:
                 node.master.finalize(txn)
             yield self.sim.timeout(cfg.rtt())
             committed = True
+            if write_set is not None:
+                self.metrics.commit_latency.record(self.sim.now() - started)
             return None
         finally:
             root.finish(status="committed" if committed else "aborted")
+
+    def _ack_barrier(self, acks):
+        """Wait out the pre-commit acks according to the ack policy.
+
+        ``all`` and ``all-healthy`` both wait for every ack in the list —
+        they differ upstream: under ``all-healthy`` demoted slaves never
+        enter the list (they are unsubscribed), so the barrier covers
+        exactly the healthy replicas.  ``quorum`` resolves as soon as
+        ``quorum_k`` positive acks arrive; acks always trigger (success or
+        failure), so the barrier also resolves when every ack is in — no
+        deadlock even if the quorum is unreachable (the post-barrier
+        liveness checks and reconfiguration take over then).
+        """
+        if self.ack_policy != "quorum":
+            yield self.sim.all_of(acks)
+            return
+        self.counters.add("net.quorum_commits")
+        need = min(len(acks), self.quorum_k)
+        done = self.sim.event()
+        state = [0, 0]  # positive acks, resolved acks
+
+        def on_ack(event) -> None:
+            state[1] += 1
+            if event.value:
+                state[0] += 1
+            if not done.triggered and (state[0] >= need or state[1] == len(acks)):
+                done.succeed(None)
+
+        for ack in acks:
+            ack.add_callback(on_ack)
+        yield done
+        if state[1] < len(acks):
+            # The quorum released this commit while at least one ack was
+            # still outstanding — the headline straggler win.
+            self.counters.add("net.quorum_saves")
 
     def _channel(self, source_id: str, target: InMemoryDbNode) -> ReplicationChannel:
         key = (source_id, target.node_id)
@@ -920,10 +1256,13 @@ class SimDmvCluster:
             # FAILED master's conflict classes are cleaned — other masters'
             # in-flight pre-commits are still live.
             cleanup_vector = confirmed.copy()
+            failed_tables = []
             for table in self.conflict_map.tables:
                 owner = self.conflict_map.master_of_class(self.conflict_map.class_of(table))
                 if owner != failed_id:
                     cleanup_vector.set(table, 1 << 60)
+                else:
+                    failed_tables.append(table)
             survivors = [
                 n for n in self.nodes.values() if n.alive and n.slave is not None
             ]
@@ -931,6 +1270,18 @@ class SimDmvCluster:
             dropped = cleanup_after_master_failure(
                 [n.slave for n in survivors if n.subscribed], cleanup_vector
             )
+            if self.straggler_active and self._replay_log:
+                # The gap-replay log must not resurrect write-sets the
+                # cleanup just discarded cluster-wide (unconfirmed commits
+                # of the failed master).
+                self._replay_log = {
+                    key: write_set
+                    for key, write_set in self._replay_log.items()
+                    if all(
+                        version <= cleanup_vector.get(table)
+                        for table, version in key[2]
+                    )
+                }
             yield self.sim.timeout(self.cost.apply_cpu(dropped) + cfg.recovery_overhead)
             # Elect + promote the lowest-id active (non-spare) slave.
             pure_slaves = [n for n in survivors if n.master is None]
@@ -969,6 +1320,27 @@ class SimDmvCluster:
             yield new_node.job(self._promotion_job(new_node, confirmed, owned), "promote")
             for agent in self._alive_scheduler_agents():
                 agent.scheduler.on_master_failure(failed_id, new_slave.node_id)
+            if self.straggler_active:
+                # Under quorum acks a survivor outside the quorum may be
+                # missing confirmed commits of the failed master (its
+                # truncated watermark sits below ``confirmed``).  Serving
+                # fresh-version reads from it would violate the snapshot
+                # contract, so it is demoted and re-fetches the gap via
+                # page migration at rejoin.  Never fires under ``all``:
+                # every survivor acked every confirmed commit.
+                for peer in list(self.nodes.values()):
+                    if (
+                        peer.alive
+                        and peer.slave is not None
+                        and peer.master is None
+                        and peer.subscribed
+                        and not peer.slave.catching_up
+                        and any(
+                            peer.slave.received_versions.get(t) < confirmed.get(t)
+                            for t in failed_tables
+                        )
+                    ):
+                        self.demote_slave(peer.node_id, reason="stale-after-failover")
         timeline.recovery_done = self.sim.now()
         self._reconfig_dead_ends.discard(failed_id)
         # Spare promotion: backfill active capacity from the spare pool.
@@ -1015,14 +1387,30 @@ class SimDmvCluster:
     def _timed_migration(self, node: InMemoryDbNode, timeline: FailoverTimeline):
         """Version-aware page transfer into ``node`` with time charged."""
         cfg = self.cost.config
-        support_node = next(
-            (
-                n
-                for n in self.nodes.values()
-                if n.alive and n.slave is not None and n.subscribed and n.node_id != node.node_id
-            ),
-            None,
-        )
+        candidates = [
+            n
+            for n in self.nodes.values()
+            if n.alive and n.slave is not None and n.subscribed and n.node_id != node.node_id
+        ]
+        if self.straggler_active and candidates:
+            # Quorum acks: a commit confirms with k slave acks, so an
+            # arbitrary subscribed slave may still be missing confirmed
+            # write-sets (they are in flight / being retransmitted to it).
+            # Channels deliver in global enqueue order, so per-slave
+            # histories are nested prefixes and the slave with the highest
+            # received total provably holds every confirmed commit —
+            # migrate from it, or the joiner would permanently miss the
+            # gap (it subscribed after those broadcasts went out).
+            support_node = max(
+                (n for n in candidates if not n.slave.catching_up),
+                key=lambda n: (n.slave.received_versions.total(), n.node_id),
+                default=None,
+            )
+        else:
+            # All-slave acks: every subscribed slave has every confirmed
+            # write-set, so the first candidate is as good as any (and
+            # keeps the default path's schedule byte-stable).
+            support_node = candidates[0] if candidates else None
         if support_node is None:
             master = next(n for n in self.nodes.values() if n.alive and n.master is not None)
             # Degenerate single-survivor case: migrate from the master's
@@ -1044,15 +1432,55 @@ class SimDmvCluster:
             return
         node.subscribed = True
         node.slave.catching_up = True
+        replay_ops = 0
+        replay_bytes = 0
+        if self.straggler_active and self._replay_log:
+            # Gap replay: write-sets broadcast while this node was demoted
+            # never entered its channel, and the support may not hold them
+            # all either (under quorum acks a commit confirms before every
+            # slave has its data).  Re-deliver them in stream order; the
+            # duplicate filter skips what the node already has, and any op
+            # the support's page images do cover is pruned when those
+            # images land (receive_page keeps only ops above each image's
+            # version).
+            replica = node.slave
+            for write_set in sorted(
+                self._replay_log.values(), key=lambda w: (w.master_id, w.seq)
+            ):
+                # Cheap pre-filters keep repeat rejoins from re-shipping
+                # the whole log: a frame the node has seen, or whose
+                # versions its (gap-free, by induction) state already
+                # covers, needs no transmission at all.
+                if write_set.dedup_key() in replica._seen_write_sets or all(
+                    version <= replica.received_versions.get(table)
+                    for table, version in write_set.versions.items()
+                ):
+                    continue
+                # Each replayed frame is a real (re-)transmission: count it
+                # sent so counter conservation (sent == received + dups +
+                # drops) keeps holding.
+                node.counters.add("net.write_sets_sent")
+                before = replica.pending_ops
+                replica.receive(write_set)
+                accepted = replica.pending_ops - before
+                if accepted > 0:
+                    replay_ops += accepted
+                    replay_bytes += write_set.byte_size()
+            if replay_ops:
+                self.counters.add("slave.replay_write_sets")
+                self.counters.add("slave.replay_ops", replay_ops)
         stats = integrate_stale_node(node.slave, support_node.slave)
-        work = stats.pages_sent + stats.ops_index_applied
+        work = stats.pages_sent + stats.ops_index_applied + replay_ops
         yield support_node.job(self._migration_cpu(support_node, work), "migrate-src")
-        yield self.sim.timeout(cfg.net_delay(stats.bytes_sent))
+        # Only the page images and replayed gap ops cross the wire here;
+        # the index-applied ops (also in stats.bytes_sent) already
+        # traversed the replication stream during catch-up buffering.
+        yield self.sim.timeout(cfg.net_delay(stats.bytes_page_images + replay_bytes))
         yield node.job(self._migration_cpu(node, work), "migrate-dst")
         # Migrated pages were just written into memory: they are resident.
         node.cache.warm(stats.page_ids)
         timeline.migration_pages += stats.pages_sent
-        timeline.migration_bytes += stats.bytes_sent
+        timeline.migration_bytes += stats.bytes_page_images
 
     # -- reintegration (timed reboot + data migration) ---------------------------------------------
     def reintegrate(self, node_id: str, support_id: Optional[str] = None, spare: bool = False):
@@ -1065,8 +1493,16 @@ class SimDmvCluster:
             failure_time=node.failed_at or self.sim.now(), detection_time=self.sim.now()
         )
         node.restart_resources()
+        node.slowdown = 1.0
         node.make_slave()
         node.subscribed = True
+        # A node that crashed while demoted re-enters through the normal
+        # reintegration path: close out its demotion record.
+        stale_span = self._demoted.pop(node_id, None)
+        if stale_span is not None:
+            stale_span.finish(status="crashed")
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.set_demoted(node_id, False)
         self._handled_failures.discard(node_id)
         # Reset the failure detector's miss count too, or a later second
         # failure of this node would be detected off stale counts.

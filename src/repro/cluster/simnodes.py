@@ -42,6 +42,11 @@ class SimNode:
         self.cost = cost
         self.cpu = Resource(sim, cost.config.cores_per_node)
         self.alive = True
+        #: Service-time inflation factor (chaos ``slowdown`` fault).  1.0
+        #: is a healthy node; a straggler's statement and replication
+        #: charges are multiplied by this, which keeps heartbeats alive —
+        #: a gray failure, not a fail-stop one.
+        self.slowdown = 1.0
         self._jobs: Set[Process] = set()
 
     def job(self, gen, name: str = "job") -> Process:
@@ -185,7 +190,7 @@ class InMemoryDbNode(SimNode):
                     continue
                 delta = self.counters.delta_since(snapshot)
                 service = self.cost.statement_cpu(delta) + self.cost.fault_time(delta)
-                yield self.sim.timeout(service)
+                yield self.sim.timeout(service * self.slowdown)
                 span.finish(status="ok")
                 return result
             finally:
@@ -212,7 +217,11 @@ class InMemoryDbNode(SimNode):
 
     def receive_cost(self, op_count: int):
         """The replication thread's CPU charge for one received write-set."""
-        yield self.sim.timeout(self.cost.receive_cpu(op_count))
+        yield self.sim.timeout(self.cost.receive_cpu(op_count) * self.slowdown)
+
+    def apply_cost(self, op_count: int):
+        """CPU charge for eagerly applying buffered ops (forced drain)."""
+        yield self.sim.timeout(self.cost.apply_cpu(op_count) * self.slowdown)
 
     def receive_write_set(self, write_set: WriteSet):
         """Eager receive path.
@@ -224,7 +233,7 @@ class InMemoryDbNode(SimNode):
         stall behind the slowest slave's longest-running query.)
         """
         self.deliver_write_set(write_set)
-        yield self.sim.timeout(self.cost.receive_cpu(len(write_set.ops)))
+        yield self.sim.timeout(self.cost.receive_cpu(len(write_set.ops)) * self.slowdown)
 
     def touch_pages_job(self, page_ids):
         """Page-id warm-up: touch shipped pages (fault them in)."""

@@ -1,0 +1,109 @@
+"""Laggard detection for straggler-tolerant replication.
+
+The paper's failure model is strictly fail-stop: a node either answers
+heartbeats or it is dead.  A *gray* failure — degraded disk, saturated
+link, GC pauses — keeps heartbeats flowing while acks crawl, so under
+all-slave acknowledgement one straggler stalls every commit in the
+cluster.  The :class:`LaggardDetector` watches the replication channels
+for two symptoms and flags the target for demotion to catch-up mode:
+
+* **backlog**: the unacked outbox to one slave exceeds a high watermark
+  of entries or bytes (the slave is not keeping up with the broadcast
+  rate);
+* **sustained ack-latency outlier**: the slave's ack-latency EWMA
+  exceeds the fastest peer's EWMA by a configured factor for a
+  configured number of consecutive samples (one slow ack is noise; a run
+  of them is a straggler).  The fastest peer is the baseline — a
+  cluster-wide average would be contaminated by the straggler's own
+  samples and could mask it entirely.
+
+The detector is pure bookkeeping — no events, no RNG, no counters — so
+instantiating it never perturbs a seeded run; only the cluster's
+*reaction* to a verdict (demotion) touches the kernel, and that is gated
+on a non-default ack policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.costs import CostConfig
+
+
+class AckLatencyEwma:
+    """Exponentially-weighted moving average of ack latencies."""
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self.alpha = alpha
+        self.value = 0.0
+        self.samples = 0
+
+    def observe(self, latency: float) -> float:
+        if self.samples == 0:
+            self.value = latency
+        else:
+            self.value += self.alpha * (latency - self.value)
+        self.samples += 1
+        return self.value
+
+
+class LaggardDetector:
+    """Per-target straggler verdicts from channel backlog + ack latency."""
+
+    def __init__(self, config: CostConfig) -> None:
+        self.config = config
+        #: Per-slave ack-latency EWMA (one per broadcast target).
+        self.per_target: Dict[str, AckLatencyEwma] = {}
+        #: Cluster-wide ack-latency EWMA (the healthy baseline).
+        self.global_ewma = AckLatencyEwma()
+        #: Consecutive outlier samples per target.
+        self.outlier_streak: Dict[str, int] = {}
+
+    def observe_ack(self, target_id: str, latency: float) -> None:
+        """Record one acked send's enqueue-to-ack latency."""
+        ewma = self.per_target.get(target_id)
+        if ewma is None:
+            ewma = self.per_target[target_id] = AckLatencyEwma()
+        ewma.observe(latency)
+        self.global_ewma.observe(latency)
+        # Warm-up: with few samples the baseline is the target itself.
+        if self.global_ewma.samples < 2 * self.config.laggard_sustain:
+            self.outlier_streak[target_id] = 0
+            return
+        baseline = self._baseline(target_id)
+        if baseline > 0 and ewma.value > self.config.laggard_ack_factor * baseline:
+            self.outlier_streak[target_id] = self.outlier_streak.get(target_id, 0) + 1
+        else:
+            self.outlier_streak[target_id] = 0
+
+    def _baseline(self, target_id: str) -> float:
+        """Healthy-latency reference: the fastest *other* target's EWMA.
+
+        At least one peer is healthy (demotion is vetoed for the last
+        subscribed slave), and the fastest one cannot be the straggler.
+        With no peer yet observed, fall back to the cluster-wide EWMA.
+        """
+        peers = [
+            e.value
+            for tid, e in self.per_target.items()
+            if tid != target_id and e.samples > 0
+        ]
+        return min(peers) if peers else self.global_ewma.value
+
+    def ack_latency_verdict(self, target_id: str) -> bool:
+        """True when the target's outlier streak crossed the sustain bar."""
+        return self.outlier_streak.get(target_id, 0) >= self.config.laggard_sustain
+
+    def backlog_verdict(self, entries: int, nbytes: int) -> bool:
+        """True when one channel's unacked backlog crossed a watermark."""
+        cfg = self.config
+        if cfg.laggard_backlog_entries and entries >= cfg.laggard_backlog_entries:
+            return True
+        return bool(cfg.laggard_backlog_bytes and nbytes >= cfg.laggard_backlog_bytes)
+
+    def forget(self, target_id: str) -> None:
+        """Reset one target's history (after demotion or rejoin)."""
+        self.per_target.pop(target_id, None)
+        self.outlier_streak.pop(target_id, None)

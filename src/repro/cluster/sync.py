@@ -165,7 +165,21 @@ class SyncDmvCluster:
         num_disk_backends: int = 0,
         seed: int = 0,
         now: Optional[Callable[[], float]] = None,
+        ack_policy: str = "all",
+        quorum_k: int = 1,
     ) -> None:
+        if ack_policy not in ("all", "quorum", "all-healthy"):
+            raise ValueError(f"unknown ack policy {ack_policy!r}")
+        #: Pre-commit acknowledgement policy.  Embedded replication is
+        #: inline (there is no ack to wait for), so the policy governs the
+        #: *membership* semantics: under ``all`` a demoted slave still
+        #: receives every write-set; under ``quorum``/``all-healthy`` a
+        #: demoted slave is skipped entirely and must re-integrate via
+        #: data migration (:meth:`rejoin_slave`).
+        self.ack_policy = ack_policy
+        self.quorum_k = max(1, quorum_k)
+        self.counters = Counters()
+        self._demoted: set = set()
         self.schemas = list(schemas)
         # Embedded clusters default to wall-clock time so date-ordered
         # application queries (e.g. "most recent order") behave naturally.
@@ -257,6 +271,9 @@ class SyncDmvCluster:
         for handle in self.nodes.values():
             if handle.node_id == exclude or not handle.alive or handle.slave is None:
                 continue
+            if handle.node_id in self._demoted:
+                self.counters.add("net.acks_skipped_demoted")
+                continue
             handle.slave.receive(write_set)
             handle.counters.add("net.batches")
             handle.counters.add("net.write_sets_sent")
@@ -324,10 +341,16 @@ class SyncDmvCluster:
             for h in self.nodes.values()
             if h.alive and h.slave is not None and h.master is None
             and not self._is_spare(h.node_id)
+            and h.node_id not in self._demoted
         ]
         confirmed = self.scheduler.latest.copy()
         cleanup_after_master_failure(
-            [h.slave for h in self.nodes.values() if h.alive and h.slave is not None],
+            [
+                h.slave
+                for h in self.nodes.values()
+                if h.alive and h.slave is not None
+                and h.node_id not in self._demoted
+            ],
             confirmed,
         )
         new_slave = elect_new_master(survivors)
@@ -343,6 +366,54 @@ class SyncDmvCluster:
 
     def promote_spare(self, node_id: str) -> None:
         self.scheduler.promote_spare(node_id)
+
+    # -- laggard demotion (operator-driven in embedded mode) -----------------------------------
+    def demote_slave(self, node_id: str) -> None:
+        """Exclude a pure slave from replication and fresh-version routing.
+
+        Embedded mode has no latency signal, so demotion is an operator
+        decision (e.g. the host process noticed the replica's thread pool
+        is saturated).  Buffered-but-unconfirmed write-sets are discarded
+        so everything the demoted node holds is confirmed history; it
+        stops receiving broadcasts and must come back via
+        :meth:`rejoin_slave`'s data migration.
+        """
+        handle = self.node(node_id)
+        if handle.slave is None or handle.master is not None:
+            raise NodeUnavailable(f"{node_id} is not a pure slave")
+        if node_id in self._demoted:
+            return
+        peers = [
+            h
+            for h in self.nodes.values()
+            if h.alive and h.slave is not None and h.master is None
+            and h.node_id != node_id and h.node_id not in self._demoted
+        ]
+        if not peers:
+            raise NodeUnavailable(f"cannot demote {node_id}: no other slave remains")
+        handle.slave.discard_above(self.scheduler.latest)
+        self._demoted.add(node_id)
+        self.scheduler.set_demoted(node_id, True)
+        self.counters.add("slave.demotions")
+
+    def rejoin_slave(self, node_id: str, support_id: Optional[str] = None) -> None:
+        """Re-integrate a demoted slave via §4.4 data migration."""
+        handle = self.node(node_id)
+        if node_id not in self._demoted:
+            return
+        if support_id is None:
+            support_id = next(
+                h.node_id
+                for h in self.nodes.values()
+                if h.alive and h.slave is not None and h.node_id != node_id
+                and h.node_id not in self._demoted
+            )
+        support = self.node(support_id)
+        self._demoted.discard(node_id)
+        handle.slave.catching_up = True
+        integrate_stale_node(handle.slave, support.slave)
+        self.scheduler.set_demoted(node_id, False)
+        self.counters.add("slave.rejoins")
 
     def reintegrate(self, node_id: str, support_id: Optional[str] = None, spare: bool = False):
         """Bring a failed node back as a slave via data migration."""

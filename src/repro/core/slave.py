@@ -78,6 +78,15 @@ class SlaveReplica:
         #: are buffered WITHOUT index maintenance — the indexes will be
         #: rebuilt from page contents once migration completes.
         self.catching_up = False
+        #: Running count of buffered-but-unapplied ops, maintained at every
+        #: queue mutation so the buffer-bound invariant can audit it in O(1)
+        #: (``pending_op_count()`` recomputes the truth for drift checks).
+        self.pending_ops = 0
+        #: Steady-state high-water mark of :attr:`pending_ops`.  Growth
+        #: during catch-up mode is excused: buffering while pages migrate
+        #: is the *point* of catch-up, and the migration prunes the queue
+        #: when the covering images land.
+        self.pending_ops_peak = 0
 
     # -- replication receive path ---------------------------------------------------
     def is_duplicate(self, write_set: WriteSet) -> bool:
@@ -129,6 +138,9 @@ class SlaveReplica:
                 self.engine.table(op.page_id.table).index_apply_committed(op, version)
             _ = page  # page allocated so scans see it before materialisation
         self.received_versions.merge(VersionVector(write_set.versions))
+        self.pending_ops += len(write_set.ops)
+        if not self.catching_up and self.pending_ops > self.pending_ops_peak:
+            self.pending_ops_peak = self.pending_ops
         self.counters.add("slave.write_sets_received")
         self.counters.add("slave.ops_buffered", len(write_set.ops))
 
@@ -176,6 +188,7 @@ class SlaveReplica:
                     )
                 else:
                     plan[op.slot] = ("full", op.apply_delta(state[1]))
+        self.pending_ops -= popped
         return plan, top, popped
 
     def _apply_plan(
@@ -259,6 +272,33 @@ class SlaveReplica:
             consumed += popped
         return consumed
 
+    def drain_to(self, versions: VersionVector) -> int:
+        """Eagerly apply the confirmed prefix of every pending queue.
+
+        Buffer-cap backpressure: when the buffer crosses its high
+        watermark and demotion is not available (last subscribed slave),
+        the replica sheds load by materialising everything at-or-below
+        the scheduler's confirmed ``versions`` instead of buffering
+        deeper.  Ops above the frontier stay queued — applying an
+        unconfirmed op could not be rolled back on master failure.
+
+        Returns the number of buffered ops consumed.
+        """
+        consumed = 0
+        for page_id in list(self.pending):
+            target = versions.get(page_id.table)
+            queue = self.pending[page_id]
+            if not queue or queue[0][0] > target:
+                continue
+            page = self.engine.store.get(page_id)
+            plan, top, popped = self._coalesce(queue, target)
+            if popped:
+                self._apply_plan(page, plan, top, popped)
+            if not queue:
+                del self.pending[page_id]
+            consumed += popped
+        return consumed
+
     def materialize_fully(self, page_id: PageId) -> Page:
         """Apply all pending ops of one page (migration snapshot source)."""
         page = self.engine.store.get(page_id)
@@ -284,12 +324,19 @@ class SlaveReplica:
         for page_id in list(self.pending):
             queue = self.pending[page_id]
             keep: Deque[Tuple[int, object]] = deque()
+            dropped: List[Tuple[int, object]] = []
             for version, op in queue:
                 if version <= versions.get(page_id.table):
                     keep.append((version, op))
                 else:
-                    self._revert_index_entries(op, version)
-                    discarded += 1
+                    dropped.append((version, op))
+            # Undo the eager index maintenance in reverse receive order:
+            # an insert-then-delete of the same key (one transaction's
+            # write-set) must unmark the delete while the entry still
+            # exists, then remove the entry the insert created.
+            for version, op in reversed(dropped):
+                self._revert_index_entries(op, version)
+            discarded += len(dropped)
             if keep:
                 self.pending[page_id] = keep
             else:
@@ -299,6 +346,15 @@ class SlaveReplica:
         for table, version in self.received_versions.items():
             truncated.set(table, min(version, max(versions.get(table), 0)))
         self.received_versions = truncated
+        # A discarded write-set is no longer "received": its effects were
+        # just reverted, so if it is ever re-delivered (rejoin gap replay,
+        # late retransmission) it must be re-applied, not dedup-dropped.
+        self._seen_write_sets = {
+            key
+            for key in self._seen_write_sets
+            if all(version <= versions.get(table) for table, version in key[2])
+        }
+        self.pending_ops -= discarded
         if discarded:
             self.counters.add("slave.ops_discarded", discarded)
         return discarded
@@ -366,6 +422,7 @@ class SlaveReplica:
             kept = deque(
                 (version, op) for version, op in queue if version > image.version
             )
+            self.pending_ops -= len(queue) - len(kept)
             if kept:
                 self.pending[image.page_id] = kept
             else:

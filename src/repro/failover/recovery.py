@@ -33,12 +33,30 @@ def cleanup_after_master_failure(
     return sum(slave.discard_above(confirmed) for slave in slaves)
 
 
+def _candidate_freshness(slave: SlaveReplica) -> int:
+    """Total replicated progress of one candidate: adopted + buffered.
+
+    The received-versions vector already includes buffered-but-unapplied
+    write-sets (it advances at receive time), so its total orders
+    candidates by how much confirmed history promotion can preserve.
+    """
+    return slave.received_versions.total()
+
+
 def elect_new_master(candidates: Sequence[SlaveReplica]) -> SlaveReplica:
-    """Pick the replacement master (deterministic: lowest node id)."""
+    """Pick the replacement master: freshest candidate, lowest-id tiebreak.
+
+    Under all-slave acks every survivor holds every confirmed write-set,
+    so any deterministic pick is safe.  Under quorum acks a survivor
+    *outside* the quorum may be missing confirmed commits — electing it
+    by id alone would discard history that other survivors still hold.
+    The freshest candidate (max version-vector total) can always reach
+    the confirmed vector from its own buffers.
+    """
     alive = list(candidates)
     if not alive:
         raise NodeUnavailable("no surviving slave to promote")
-    return min(alive, key=lambda s: s.node_id)
+    return min(alive, key=lambda s: (-_candidate_freshness(s), s.node_id))
 
 
 def promote_slave_to_master(

@@ -17,12 +17,13 @@ Flow (mirrors the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.versions import VersionVector
 from repro.core.slave import SlaveReplica
 from repro.storage.checkpoint import StableStore
+from repro.storage.ops import ops_size
 
 
 @dataclass
@@ -30,14 +31,18 @@ class MigrationStats:
     """What one reintegration moved (drives the migration-time cost model)."""
 
     pages_sent: int = 0
+    #: Total bytes the migration moved: page images shipped by the support
+    #: slave plus the encoded size of the ops the joiner index-applies from
+    #: its own buffers (full data-movement accounting).
     bytes_sent: int = 0
+    #: Wire bytes of the migrated page images alone.  This is what the
+    #: cost model charges the network for: the index-applied ops already
+    #: traversed the wire on the replication stream during catch-up, so
+    #: charging them again here would double-count transfer time.
+    bytes_page_images: int = 0
     ops_dropped_as_covered: int = 0
     ops_index_applied: int = 0
-    page_ids: list = None
-
-    def __post_init__(self) -> None:
-        if self.page_ids is None:
-            self.page_ids = []
+    page_ids: list = field(default_factory=list)
 
 
 def integrate_stale_node(
@@ -58,10 +63,13 @@ def integrate_stale_node(
     for image in images:
         joiner.receive_page(image)
         stats.pages_sent += 1
-        stats.bytes_sent += image.page.byte_size()
+        stats.bytes_page_images += image.page.byte_size()
         stats.page_ids.append(image.page_id)
     stats.ops_dropped_as_covered = pending_before - joiner.pending_op_count()
     stats.ops_index_applied = joiner.pending_op_count()
+    stats.bytes_sent = stats.bytes_page_images + sum(
+        ops_size(op for _version, op in queue) for queue in joiner.pending.values()
+    )
     if joiner.catching_up:
         joiner.finish_catchup()
     return stats
@@ -75,6 +83,7 @@ def restore_from_checkpoint(slave: SlaveReplica, stable: StableStore) -> int:
     """
     slave.engine.store.clear()
     slave.pending.clear()
+    slave.pending_ops = 0
     slave.received_versions = VersionVector()
     restored = stable.restore_into(slave.engine.store)
     slave.catching_up = True

@@ -39,6 +39,10 @@ class SlaveState:
     node_id: NodeId
     spare: bool = False
     outstanding: int = 0
+    #: True while the replica is demoted to catch-up mode (laggard): it
+    #: keeps receiving write-sets best-effort but is excluded from the
+    #: commit ack set and from fresh-version read routing.
+    demoted: bool = False
     #: version vector of the last read-only txn routed here (affinity).
     last_tag: VersionVector = field(default_factory=VersionVector)
 
@@ -94,10 +98,24 @@ class VersionAwareScheduler:
         state.spare = False
 
     def active_slaves(self) -> List[SlaveState]:
-        return [s for s in self.slaves.values() if not s.spare]
+        return [s for s in self.slaves.values() if not s.spare and not s.demoted]
 
     def spare_slaves(self) -> List[SlaveState]:
-        return [s for s in self.slaves.values() if s.spare]
+        return [s for s in self.slaves.values() if s.spare and not s.demoted]
+
+    def demoted_slaves(self) -> List[SlaveState]:
+        return [s for s in self.slaves.values() if s.demoted]
+
+    def set_demoted(self, node_id: NodeId, demoted: bool) -> None:
+        """Mark a laggard replica demoted (or restore it after rejoin).
+
+        A demoted replica stays in the pool — it is alive and heartbeating
+        — but no fresh-version reads are routed to it and the cluster's
+        commit path excludes it from the ack barrier.
+        """
+        state = self.slaves.get(node_id)
+        if state is not None:
+            state.demoted = demoted
 
     # -- routing --------------------------------------------------------------------
     def route_update(self, tables: Iterable[str]) -> NodeId:

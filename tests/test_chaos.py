@@ -228,6 +228,9 @@ class TestInvariants:
             "replica-convergence",
             "snapshot-consistency",
             "counter-conservation",
+            "buffer-bounds",
+            "rejoin-convergence",
+            "quorum-no-lost-commits",
         ]
         assert all(r.ok for r in results), [str(r) for r in results]
 

@@ -55,6 +55,22 @@ class TestElection:
         with pytest.raises(NodeUnavailable):
             elect_new_master([])
 
+    def test_freshest_candidate_beats_lower_id(self):
+        # Quorum acks: s0 (lowest id) missed the last two commits while s1
+        # and s2 received them.  Electing s0 by id would silently discard
+        # confirmed history; the election must prefer the freshest replica.
+        master, slaves = build(3)
+        do_update(master, slaves, 1, 11)  # all three receive v1
+        do_update(master, [slaves[1], slaves[2]], 2, 12)
+        do_update(master, [slaves[1], slaves[2]], 3, 13)
+        assert slaves[0].received_versions.total() < slaves[1].received_versions.total()
+        assert elect_new_master(slaves).node_id == "s1"  # freshest, id tiebreak
+
+    def test_id_tiebreak_among_equally_fresh(self):
+        master, slaves = build(3)
+        do_update(master, slaves, 1, 11)
+        assert elect_new_master(list(reversed(slaves))).node_id == "s0"
+
 
 class TestMasterRecovery:
     def test_cleanup_discards_unconfirmed(self):

@@ -100,6 +100,7 @@ def _coalesced(page: Page, queue, target):
     from repro.common.counters import Counters
 
     slave.counters = Counters()
+    slave.pending_ops = 0
     plan, top, popped = slave._coalesce(queue, target)
     if popped:
         slave._apply_plan(page, plan, top, popped)
