@@ -394,6 +394,129 @@ def test_bench_tracing_disabled_overhead(figure_report):
     )
 
 
+# -- engine hot path ---------------------------------------------------------
+
+
+def test_bench_kernel_event_dispatch(benchmark, figure_report):
+    """Raw event-kernel dispatch rate, and the zero-delay fast-path share.
+
+    A ping-pong process pair exchanging zero-delay events is the worst
+    case for the scheduler: every resume is immediate, so the fast path
+    (bypassing the heap for delay-0 wakeups of the next runnable) should
+    carry nearly all of the traffic.
+    """
+    from repro.sim.kernel import Simulator, Timeout
+
+    n = 5_000
+
+    def run():
+        sim = Simulator()
+
+        def ping():
+            for _ in range(n):
+                yield Timeout(sim, 0.0)
+
+        sim.spawn(ping())
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.fast_resumes > 0
+    events = n
+    fast_share = min(sim.fast_resumes / events, 1.0)
+    assert fast_share >= 0.9  # the zero-delay loop must ride the fast path
+    figure_report(
+        "micro_kernel_dispatch",
+        f"event kernel: {events} zero-delay resumes per run\n"
+        f"  fast-path resumes : {sim.fast_resumes} ({fast_share:.0%} of dispatches)",
+    )
+
+
+def test_bench_page_slot_read_throughput(benchmark, figure_report):
+    """Tight page-slot fetch loop: the cost of one ``Page.get``.
+
+    The ``__slots__``/array-backed page layout pays off here — this is the
+    innermost loop of every scan and index probe.
+    """
+    import time
+
+    from repro.common.ids import PageId
+    from repro.storage.page import Page
+
+    capacity = 64
+    page = Page(PageId("t", 0), capacity)
+    for slot in range(capacity):
+        page.put(slot, (slot, f"b{slot:06d}", "ARTS", 10))
+    n = 50_000
+
+    def run():
+        get = page.get
+        total = 0
+        for i in range(n):
+            row = get(i & 63)
+            total += row[0]
+        return total
+
+    benchmark(run)
+    t0 = time.perf_counter()
+    run()
+    per_read = (time.perf_counter() - t0) / n
+    figure_report(
+        "micro_page_slot_reads",
+        f"page-slot reads ({capacity}-slot page, {n} fetches)\n"
+        f"  per read : {per_read * 1e9:7.0f} ns "
+        f"({1 / per_read / 1e6:.2f} M reads/s)",
+    )
+
+
+def test_bench_plan_cache_hit_rate(benchmark, figure_report):
+    """Repeated statement execution must hit the per-executor plan cache.
+
+    The workload shape mirrors a TPC-W browser: a handful of distinct
+    statement texts executed thousands of times with different bind
+    parameters.  Everything after the first compile of each text must be
+    a cache hit.
+    """
+    engine = HeapEngine()
+    engine.create_table(ITEM)
+    engine.bulk_load(
+        "item",
+        [
+            {"i_id": i, "i_title": f"b{i:06d}", "i_subject": SUBJECTS[i % 4], "i_stock": 10}
+            for i in range(200)
+        ],
+    )
+
+    statements = [
+        "SELECT i_stock FROM item WHERE i_id = ?",
+        "SELECT i_id, i_title FROM item WHERE i_subject = 'ARTS' ORDER BY i_id LIMIT 20",
+        "UPDATE item SET i_stock = i_stock - 1 WHERE i_id = ?",
+    ]
+    rounds = 400
+
+    def run():
+        sql = SqlExecutor(engine)
+        for i in range(rounds):
+            txn = engine.begin()
+            sql.execute(txn, statements[0], (i % 200,))
+            sql.execute(txn, statements[1])
+            sql.execute(txn, statements[2], (i % 200,))
+            engine.commit(txn)
+        return sql
+
+    sql = benchmark(run)
+    executions = rounds * len(statements)
+    hit_rate = sql.plan_cache_hits / executions
+    assert sql.plan_cache_misses == len(statements)  # one compile per text
+    assert hit_rate >= 0.99
+    figure_report(
+        "micro_plan_cache",
+        f"plan cache: {executions} executions over {len(statements)} statement texts\n"
+        f"  hits {sql.plan_cache_hits}  misses {sql.plan_cache_misses} "
+        f"(hit rate {hit_rate:.1%})",
+    )
+
+
 def test_ordering_mix_delta_savings(figure_report):
     """TPC-W ordering mix must ship >=30% fewer write-set bytes via deltas."""
     from conftest import quick_mode

@@ -12,7 +12,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.harness import run_dmv_throughput, run_straggler_comparison
+from repro.bench.harness import (
+    run_dmv_throughput,
+    run_profile,
+    run_straggler_comparison,
+)
 from repro.tpcw.mixes import MIXES
 
 
@@ -20,13 +24,44 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench", description="Run one DMV throughput measurement."
     )
+    # Defaults resolve per sub-command: the throughput run measures the
+    # modelled system (shopping mix, 30 clients, 2 slaves, 60 sim-s), the
+    # hot-path profile measures the simulator itself on its reference
+    # configuration (ordering mix, 100 clients, 4 slaves, 30 sim-s).
     parser.add_argument(
-        "--mix", default="shopping", choices=sorted(MIXES), help="TPC-W mix"
+        "--mix", default=None, choices=sorted(MIXES), help="TPC-W mix"
     )
-    parser.add_argument("--clients", type=int, default=30, help="emulated browsers")
-    parser.add_argument("--slaves", type=int, default=2, help="slave replicas")
-    parser.add_argument("--duration", type=float, default=60.0, help="virtual seconds")
+    parser.add_argument("--clients", type=int, default=None, help="emulated browsers")
+    parser.add_argument("--slaves", type=int, default=None, help="slave replicas")
+    parser.add_argument("--duration", type=float, default=None, help="virtual seconds")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wall-clock engine hot-path profile: reports simulated WIPS per "
+        "wall-second (setup and measured run timed separately) and writes "
+        "BENCH_engine_hotpath.json",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default="benchmarks/results/BENCH_engine_hotpath.json",
+        metavar="PATH",
+        help="result file for --profile",
+    )
+    parser.add_argument(
+        "--read-concurrency",
+        choices=("occ", "2pl"),
+        default="occ",
+        help="master read/validation path for --profile runs",
+    )
+    parser.add_argument(
+        "--min-wips-per-wall",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="with --profile: exit non-zero unless simulated-WIPS-per-wall-second "
+        ">= X (the CI perf-smoke regression gate)",
+    )
     parser.add_argument(
         "--straggler-compare",
         action="store_true",
@@ -53,14 +88,58 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.profile:
+        import json
+        import os
+
+        run = run_profile(
+            mix_name=args.mix if args.mix is not None else "ordering",
+            num_slaves=args.slaves if args.slaves is not None else 4,
+            clients=args.clients if args.clients is not None else 100,
+            duration=args.duration if args.duration is not None else 30.0,
+            seed=args.seed,
+            read_concurrency=args.read_concurrency,
+        )
+        print(
+            f"engine hotpath profile mix={run.mix} slaves={run.slaves} "
+            f"clients={run.clients} duration={run.duration:g}s "
+            f"read_concurrency={run.read_concurrency}:"
+        )
+        print(
+            f"  setup_wall={run.setup_wall_s:.3f}s run_wall={run.run_wall_s:.3f}s "
+            f"wips={run.wips:.2f} completed={run.completed}"
+        )
+        print(
+            f"  wips_per_wall_second={run.wips_per_wall_second:.2f} "
+            f"completed_per_wall_second={run.completed_per_wall_second:.1f} "
+            f"occ_abort_fraction={run.occ_abort_fraction * 100:.2f}%"
+        )
+        os.makedirs(os.path.dirname(args.profile_out) or ".", exist_ok=True)
+        with open(args.profile_out, "w") as fh:
+            json.dump(run.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results -> {args.profile_out}")
+        if args.min_wips_per_wall and run.wips_per_wall_second < args.min_wips_per_wall:
+            print(
+                f"FAIL: wips_per_wall_second {run.wips_per_wall_second:.2f} "
+                f"< required {args.min_wips_per_wall:g}"
+            )
+            return 1
+        return 0
+
+    mix = args.mix if args.mix is not None else "shopping"
+    clients = args.clients if args.clients is not None else 30
+    slaves = args.slaves if args.slaves is not None else 2
+    duration = args.duration if args.duration is not None else 60.0
+
     if args.straggler_compare:
         import os
 
         comparison = run_straggler_comparison(
-            mix_name="ordering" if args.mix == "shopping" else args.mix,
-            num_slaves=max(3, args.slaves),
-            clients=args.clients,
-            duration=args.duration,
+            mix_name="ordering" if mix == "shopping" else mix,
+            num_slaves=max(3, slaves),
+            clients=clients,
+            duration=duration,
             seed=args.seed,
         )
         table = comparison.table()
@@ -69,23 +148,23 @@ def main(argv=None) -> int:
         with open(args.out, "w") as fh:
             fh.write(
                 "Commit latency under one straggler: ack policy comparison\n"
-                f"(mix=ordering slaves={max(3, args.slaves)} clients={args.clients} "
-                f"duration={args.duration:g}s seed={args.seed}; straggler=s2 x12)\n\n"
+                f"(mix=ordering slaves={max(3, slaves)} clients={clients} "
+                f"duration={duration:g}s seed={args.seed}; straggler=s2 x12)\n\n"
             )
             fh.write(table + "\n")
         print(f"results -> {args.out}")
         return 0
 
     run = run_dmv_throughput(
-        args.mix,
-        num_slaves=args.slaves,
-        clients=args.clients,
-        duration=args.duration,
+        mix,
+        num_slaves=slaves,
+        clients=clients,
+        duration=duration,
         seed=args.seed,
         trace=args.trace,
     )
     print(
-        f"dmv mix={args.mix} slaves={args.slaves} clients={run.clients}: "
+        f"dmv mix={mix} slaves={slaves} clients={run.clients}: "
         f"wips={run.wips:.2f} p95={run.latency_p95 * 1e3:.1f}ms "
         f"commit_p99={run.commit_p99 * 1e3:.2f}ms "
         f"aborts={run.abort_rate * 100:.2f}% completed={run.completed}"

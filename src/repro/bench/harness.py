@@ -218,6 +218,134 @@ def run_dmv_throughput(
 
 
 @dataclass
+class ProfileRun:
+    """Wall-clock profile: how much simulated work one real second buys.
+
+    Simulated WIPS measures the *modelled* system; this measures the
+    simulator itself — the engine hot path (event kernel, lock manager,
+    page reads, SQL plan cache) is what burns host CPU.  ``setup`` (build,
+    load, warm) and the measured run are timed separately so data-generation
+    cost does not dilute the hot-path number.
+    """
+
+    mix: str
+    slaves: int
+    clients: int
+    duration: float
+    seed: int
+    read_concurrency: str
+    setup_wall_s: float
+    run_wall_s: float
+    wips: float
+    completed: int
+    abort_rate: float
+    retries_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Hot-path instrumentation: ``kernel.fast_resumes`` plus the merged
+    #: ``engine.occ_*`` / ``engine.plan_cache_hits`` / ``engine.lock_fast_grants``
+    #: counters (all zero when profiling the legacy 2PL path).
+    hotpath_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wips_per_wall_second(self) -> float:
+        return self.wips / self.run_wall_s if self.run_wall_s else 0.0
+
+    @property
+    def completed_per_wall_second(self) -> float:
+        return self.completed / self.run_wall_s if self.run_wall_s else 0.0
+
+    @property
+    def occ_abort_fraction(self) -> float:
+        """occ-conflict aborts per validation (the <5 % acceptance gate)."""
+        validations = self.hotpath_counters.get("engine.occ_validations", 0.0)
+        aborts = self.hotpath_counters.get("engine.occ_aborts", 0.0)
+        return aborts / validations if validations else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": "engine_hotpath",
+            "config": {
+                "mix": self.mix,
+                "slaves": self.slaves,
+                "clients": self.clients,
+                "duration_sim_s": self.duration,
+                "seed": self.seed,
+                "read_concurrency": self.read_concurrency,
+            },
+            "setup_wall_s": round(self.setup_wall_s, 3),
+            "run_wall_s": round(self.run_wall_s, 3),
+            "wips": round(self.wips, 2),
+            "wips_per_wall_second": round(self.wips_per_wall_second, 2),
+            "completed": self.completed,
+            "completed_per_wall_second": round(self.completed_per_wall_second, 1),
+            "abort_rate": round(self.abort_rate, 4),
+            "occ_abort_fraction": round(self.occ_abort_fraction, 4),
+            "retries_by_reason": dict(self.retries_by_reason),
+            "hotpath_counters": {
+                k: int(v) for k, v in sorted(self.hotpath_counters.items())
+            },
+        }
+
+
+HOTPATH_COUNTERS = (
+    "engine.occ_validations",
+    "engine.occ_aborts",
+    "engine.plan_cache_hits",
+    "engine.lock_fast_grants",
+)
+
+
+def run_profile(
+    mix_name: str = "ordering",
+    num_slaves: int = 4,
+    clients: int = 100,
+    duration: float = 30.0,
+    seed: int = 0,
+    read_concurrency: str = "occ",
+    scale: TpcwScale = BENCH_SCALE,
+    think_time: float = BENCH_THINK_TIME,
+) -> ProfileRun:
+    """Measure simulated-WIPS-per-wall-second on the DMV engine hot path."""
+    import time
+    from dataclasses import replace
+
+    from repro.common.counters import Counters
+
+    cost = replace(BENCH_COST, read_concurrency=read_concurrency)
+    setup_start = time.perf_counter()
+    cluster = SimDmvCluster(
+        TPCW_SCHEMAS,
+        num_slaves=num_slaves,
+        cost_config=cost,
+        rows_per_page=BENCH_ROWS_PER_PAGE,
+        seed=seed,
+    )
+    _load_cluster(cluster, scale, 42)
+    cluster.warm_all_caches()
+    cluster.start_browsers(clients, MIXES[mix_name], scale, think_time_mean=think_time)
+    run_start = time.perf_counter()
+    wips, _lat = _measure(cluster, duration)
+    run_wall = time.perf_counter() - run_start
+    merged = Counters.merged([node.counters for node in cluster.nodes.values()])
+    hotpath = {name: merged.get(name) for name in HOTPATH_COUNTERS}
+    hotpath["kernel.fast_resumes"] = float(cluster.sim.fast_resumes)
+    return ProfileRun(
+        mix=mix_name,
+        slaves=num_slaves,
+        clients=clients,
+        duration=duration,
+        seed=seed,
+        read_concurrency=read_concurrency,
+        setup_wall_s=run_start - setup_start,
+        run_wall_s=run_wall,
+        wips=wips,
+        completed=cluster.metrics.completed,
+        abort_rate=cluster.metrics.abort_rate(),
+        retries_by_reason=dict(cluster.metrics.aborts_by_reason),
+        hotpath_counters=hotpath,
+    )
+
+
+@dataclass
 class StragglerComparison:
     """Commit-latency matrix: (ack policy) x (straggler injected or not)."""
 

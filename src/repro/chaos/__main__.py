@@ -45,6 +45,13 @@ def main(argv=None) -> int:
         help="slave acks required per commit under --ack-policy quorum",
     )
     parser.add_argument(
+        "--read-concurrency",
+        choices=("occ", "2pl"),
+        default="occ",
+        help="master read/validation path: optimistic read validation (default) "
+        "or legacy shared-mode 2PL (reproduces pre-OCC fingerprints)",
+    )
+    parser.add_argument(
         "--min-commits",
         type=int,
         default=0,
@@ -74,6 +81,8 @@ def main(argv=None) -> int:
         "default": default_chaos_plan,
         "straggler": straggler_chaos_plan,
     }[args.plan]
+    from repro.cluster.costs import CostConfig
+
     report = run_chaos_scenario(
         seed=args.seed,
         plan=plan_builder(args.seed, args.duration),
@@ -83,6 +92,7 @@ def main(argv=None) -> int:
         trace=args.trace,
         ack_policy=args.ack_policy,
         quorum_k=args.quorum_k,
+        cost_config=CostConfig(read_concurrency=args.read_concurrency),
     )
     print(report.summary())
     if args.trace and report.tracer is not None:

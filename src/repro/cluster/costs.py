@@ -93,6 +93,11 @@ class CostConfig:
     browser_backoff_cap: float = 5.0
     # -- node shape --------------------------------------------------------------------------
     cores_per_node: int = 2
+    # -- concurrency control ----------------------------------------------------------------
+    #: Master read/validation path: ``"occ"`` (timestamp-ordered optimistic
+    #: read validation, the default) or ``"2pl"`` (legacy shared-mode page
+    #: locks, which reproduces the pre-OCC counter fingerprints bit-for-bit).
+    read_concurrency: str = "occ"
     # -- reconfiguration --------------------------------------------------------------------------
     #: Fixed coordination overhead of master-failure recovery (abort round,
     #: election, topology broadcast) — the paper measures ~6 s total.

@@ -266,6 +266,12 @@ class ReplicationChannel:
         self.target = target
         self._outbox: List[PendingSend] = []
         self._busy = False
+        #: Every send not yet acked or failed, in enqueue (= version) order.
+        #: The drain loop moves frames out of ``_outbox`` while they are in
+        #: transit or waiting out a retransmission backoff, so this is the
+        #: only complete view of what the target may still be missing —
+        #: reintegration's in-flight catch-up reads it.
+        self._unacked: List[PendingSend] = []
 
     def send(self, write_set, parent_span=NULL_SPAN):
         """Queue one write-set; returns the event its ack will trigger.
@@ -286,6 +292,7 @@ class ReplicationChannel:
             enqueued_at=self.cluster.sim.now(),
         )
         self._outbox.append(pending)
+        self._unacked.append(pending)
         ops = len(write_set.ops)
         if ops > self.cluster._max_ws_ops:
             self.cluster._max_ws_ops = ops
@@ -299,6 +306,17 @@ class ReplicationChannel:
                 self.cluster.demote_slave(self.target.node_id, reason="backlog")
         self._kick()
         return pending.ack
+
+    def unacked_write_sets(self):
+        """Write-sets sent but not yet acked (nor failed), oldest first.
+
+        Covers the outbox, the batch currently in transit, and frames
+        waiting out a retransmission backoff.  Acked/failed entries are
+        pruned lazily here rather than in :meth:`_finish` so the hot ack
+        path stays allocation-free.
+        """
+        self._unacked = [p for p in self._unacked if not p.ack.triggered]
+        return [p.write_set for p in self._unacked]
 
     def _kick(self) -> None:
         if not self._busy:
@@ -609,10 +627,11 @@ class SimDmvCluster:
                     {
                         t for t in table_names
                         if conflict_map.master_of_class(conflict_map.class_of(t)) == master_id
-                    }
+                    },
+                    read_concurrency=self.cost.config.read_concurrency,
                 )
             else:
-                master.make_master()
+                master.make_master(self.cost.config.read_concurrency)
             self.nodes[master_id] = master
         self._spare_ids: set = set()
         for i in range(num_slaves):
@@ -1047,6 +1066,14 @@ class SimDmvCluster:
                     txn.obs_span = pre
                 try:
                     write_set = node.master.pre_commit(txn)
+                except TransactionAborted as exc:
+                    # OCC read-set validation failed: the transaction is
+                    # still ACTIVE and revertible, and the connection has
+                    # already detached it — roll it back here so the
+                    # browser's retry starts from clean state.
+                    if node.alive and txn.active:
+                        node.engine.abort(txn, reason=getattr(exc, "reason", "abort"))
+                    raise
                 finally:
                     if pre.recording:
                         txn.obs_span = root
@@ -1366,12 +1393,17 @@ class SimDmvCluster:
         try:
             pending = node.slave.pending_op_count()
             slave = node.slave
-            node.master = promote_slave_to_master(slave, confirmed)
+            read_concurrency = self.cost.config.read_concurrency
+            node.master = promote_slave_to_master(
+                slave, confirmed, read_concurrency=read_concurrency
+            )
             if owned_tables is not None:
                 # Multi-master: keep a slave role for non-owned classes.
                 from repro.core.dual import DualController
 
-                node.engine.set_controller(DualController(set(owned_tables), slave))
+                node.engine.set_controller(
+                    DualController(set(owned_tables), slave, read_concurrency=read_concurrency)
+                )
                 node.slave = slave
             else:
                 node.slave = None
@@ -1469,6 +1501,28 @@ class SimDmvCluster:
             if replay_ops:
                 self.counters.add("slave.replay_write_sets")
                 self.counters.add("slave.replay_ops", replay_ops)
+        # In-flight catch-up: a write-set broadcast moments before this node
+        # subscribed may still be in flight to the support slave (a lossy
+        # link retransmits for seconds).  Such a frame is in neither the
+        # support's migration snapshot (not received there yet) nor this
+        # node's subscription stream (the broadcast enumerated only
+        # then-subscribed slaves) — without re-delivery the joiner goes
+        # active with a silent hole no later write-set fills, because the
+        # per-table versions advance right past it.  Frames the support has
+        # in fact received (ack lost / in the ack delay window) are covered
+        # by its page images and pruned by receive_page.
+        replica = node.slave
+        for (_src, target_id), channel in self._channels.items():
+            if target_id != support_node.node_id:
+                continue
+            for write_set in channel.unacked_write_sets():
+                if write_set.dedup_key() in replica._seen_write_sets:
+                    continue
+                # A real transmission: count the send so counter
+                # conservation (sent == received + dups + drops) holds.
+                node.counters.add("net.write_sets_sent")
+                replica.receive(write_set)
+                self.counters.add("slave.inflight_replayed")
         stats = integrate_stale_node(node.slave, support_node.slave)
         work = stats.pages_sent + stats.ops_index_applied + replay_ops
         yield support_node.job(self._migration_cpu(support_node, work), "migrate-src")

@@ -23,7 +23,7 @@ from repro.core.master import MasterReplica
 from repro.core.slave import SlaveReplica
 from repro.core.writeset import WriteSet
 from repro.disk.database import DiskDatabase
-from repro.engine.engine import HeapEngine, LockWait, TwoPhaseLocking
+from repro.engine.engine import HeapEngine, LockWait, make_update_controller
 from repro.engine.schema import TableSchema
 from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
 from repro.sim.kernel import Interrupt, Process, Simulator
@@ -113,8 +113,8 @@ class InMemoryDbNode(SimNode):
         self.failed_at: Optional[float] = None
 
     # -- role setup -------------------------------------------------------------------
-    def make_master(self) -> None:
-        self.engine.set_controller(TwoPhaseLocking())
+    def make_master(self, read_concurrency: str = "occ") -> None:
+        self.engine.set_controller(make_update_controller(read_concurrency))
         self.master = MasterReplica(self.node_id, engine=self.engine, counters=self.counters)
         self.slave = None
 
@@ -122,12 +122,14 @@ class InMemoryDbNode(SimNode):
         self.slave = SlaveReplica(self.node_id, engine=self.engine, counters=self.counters)
         self.master = None
 
-    def make_dual_master(self, owned_tables) -> None:
+    def make_dual_master(self, owned_tables, read_concurrency: str = "occ") -> None:
         """Multi-master role: master for ``owned_tables``, slave for the rest."""
         from repro.core.dual import DualController
 
         self.slave = SlaveReplica(self.node_id, engine=self.engine, counters=self.counters)
-        self.engine.set_controller(DualController(set(owned_tables), self.slave))
+        self.engine.set_controller(
+            DualController(set(owned_tables), self.slave, read_concurrency=read_concurrency)
+        )
         self.master = MasterReplica(self.node_id, engine=self.engine, counters=self.counters)
 
     # -- statement execution (job generator) -----------------------------------------------

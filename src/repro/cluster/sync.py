@@ -24,7 +24,7 @@ from repro.core.dual import DualController
 from repro.core.master import MasterReplica
 from repro.core.slave import SlaveReplica
 from repro.disk.database import DiskDatabase
-from repro.engine.engine import HeapEngine, LockWait, TwoPhaseLocking
+from repro.engine.engine import HeapEngine, LockWait, make_update_controller
 from repro.engine.schema import TableSchema
 from repro.failover.recovery import (
     cleanup_after_master_failure,
@@ -167,9 +167,15 @@ class SyncDmvCluster:
         now: Optional[Callable[[], float]] = None,
         ack_policy: str = "all",
         quorum_k: int = 1,
+        read_concurrency: str = "2pl",
     ) -> None:
         if ack_policy not in ("all", "quorum", "all-healthy"):
             raise ValueError(f"unknown ack policy {ack_policy!r}")
+        #: Update-path concurrency control.  The synchronous trampoline has
+        #: no statement-retry loop around pre-commit aborts, so the legacy
+        #: blocking 2PL path stays the default here; the simulated cluster
+        #: (where the perf matters) defaults to OCC via its cost config.
+        self.read_concurrency = read_concurrency
         #: Pre-commit acknowledgement policy.  Embedded replication is
         #: inline (there is no ack to wait for), so the policy governs the
         #: *membership* semantics: under ``all`` a demoted slave still
@@ -205,10 +211,12 @@ class SyncDmvCluster:
             }
             if multi_master and len(master_ids) > 1:
                 slave = SlaveReplica(master_id, engine=handle.engine, counters=handle.counters)
-                handle.engine.set_controller(DualController(owned, slave))
+                handle.engine.set_controller(
+                    DualController(owned, slave, read_concurrency=read_concurrency)
+                )
                 handle.slave = slave
             else:
-                handle.engine.set_controller(TwoPhaseLocking())
+                handle.engine.set_controller(make_update_controller(read_concurrency))
             handle.master = MasterReplica(master_id, engine=handle.engine, counters=handle.counters)
             self.nodes[master_id] = handle
         for i in range(num_slaves):
@@ -355,7 +363,9 @@ class SyncDmvCluster:
         )
         new_slave = elect_new_master(survivors)
         new_handle = self.nodes[new_slave.node_id]
-        new_handle.master = promote_slave_to_master(new_slave, confirmed)
+        new_handle.master = promote_slave_to_master(
+            new_slave, confirmed, read_concurrency=self.read_concurrency
+        )
         new_handle.slave = None
         self.scheduler.on_master_failure(master_id, new_slave.node_id)
         return new_slave.node_id

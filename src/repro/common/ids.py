@@ -9,7 +9,7 @@ replication protocol.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 NodeId = str
 TxnId = int
@@ -21,9 +21,26 @@ class PageId:
 
     table: str
     number: int
+    #: Precomputed ``hash((table, number))`` — identical to the value the
+    #: dataclass-generated ``__hash__`` returns, so dict/set iteration
+    #: orders (and therefore replay determinism) are unchanged; page ids
+    #: are hashed on every page touch, so recomputing was measurable.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.table, self.number)))
 
     def __str__(self) -> str:  # pragma: no cover - repr convenience
         return f"{self.table}#{self.number}"
+
+
+def _pageid_hash(self: PageId) -> int:
+    return self._hash
+
+
+# Installed after class creation: @dataclass(frozen=True) would otherwise
+# overwrite an in-class __hash__ with the tuple-recomputing generated one.
+PageId.__hash__ = _pageid_hash  # type: ignore[method-assign]
 
 
 class IdAllocator:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Set, TYPE_CHECKING
 
 from repro.common.errors import VersionInconsistency
-from repro.engine.engine import AccessController, TwoPhaseLocking
+from repro.engine.engine import AccessController, make_update_controller
 from repro.engine.txn import Transaction
 from repro.storage.page import Page
 
@@ -20,16 +20,32 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class DualController(AccessController):
-    """2PL for owned tables, lazy slave materialisation for the rest."""
+    """Update-path CC for owned tables, lazy slave materialisation for the rest.
 
-    def __init__(self, owned_tables: Set[str], slave: "SlaveReplica") -> None:
+    The owned-table side runs whichever controller ``read_concurrency``
+    selects (2PL or OCC read validation); non-owned tables are read through
+    the co-resident slave's version-tagged materialisation, which needs no
+    locks or validation at all.
+    """
+
+    def __init__(
+        self,
+        owned_tables: Set[str],
+        slave: "SlaveReplica",
+        read_concurrency: str = "2pl",
+    ) -> None:
         self.owned = set(owned_tables)
-        self.twopl = TwoPhaseLocking()
+        #: Attribute keeps its historical name; it may hold either personality.
+        self.twopl = make_update_controller(read_concurrency)
         self.slave = slave
 
     def attach(self, engine) -> None:
         super().attach(engine)
         self.twopl.attach(engine)
+
+    @property
+    def emits_occ_counters(self) -> bool:
+        return self.twopl.emits_occ_counters
 
     def before_read(self, txn: Transaction, page: Page) -> None:
         if page.page_id.table in self.owned:
@@ -43,6 +59,9 @@ class DualController(AccessController):
                 f"table {page.page_id.table} is not owned by this master"
             )
         self.twopl.before_write(txn, page)
+
+    def before_prepare(self, txn: Transaction) -> None:
+        self.twopl.before_prepare(txn)
 
     def on_finish(self, txn: Transaction) -> None:
         self.twopl.on_finish(txn)

@@ -24,7 +24,7 @@ from repro.common.counters import Counters
 from repro.common.errors import TransactionAborted
 from repro.common.ids import NodeId
 from repro.common.versions import VersionVector
-from repro.engine.engine import HeapEngine, TwoPhaseLocking
+from repro.engine.engine import HeapEngine, make_update_controller
 from repro.engine.txn import Transaction, TxnMode
 from repro.core.writeset import WriteSet
 
@@ -37,12 +37,15 @@ class MasterReplica:
         node_id: NodeId,
         engine: Optional[HeapEngine] = None,
         counters: Optional[Counters] = None,
+        read_concurrency: str = "occ",
     ) -> None:
         self.node_id = node_id
         self.counters = counters if counters is not None else Counters()
         if engine is None:
             engine = HeapEngine(
-                controller=TwoPhaseLocking(), counters=self.counters, name=f"master:{node_id}"
+                controller=make_update_controller(read_concurrency),
+                counters=self.counters,
+                name=f"master:{node_id}",
             )
         self.engine = engine
         #: Broadcast sequence number stamped on every write-set this master

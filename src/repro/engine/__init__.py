@@ -5,7 +5,9 @@ with hash and red–black-tree indexes, and runs transactions with undo/redo
 logging.  Concurrency control is pluggable through an
 :class:`~repro.engine.engine.AccessController`:
 
-* masters use page-granular two-phase locking (:class:`TwoPhaseLocking`),
+* masters use timestamp-ordered optimistic read validation
+  (:class:`OccReadValidation`, the default) or page-granular two-phase
+  locking (:class:`TwoPhaseLocking`),
 * DMV slaves materialise page versions lazily
   (:class:`repro.core.slave.SlaveController`),
 * the on-disk baseline adds buffer-pool and WAL accounting
@@ -22,8 +24,10 @@ from repro.engine.engine import (
     AccessController,
     HeapEngine,
     LockWait,
+    OccReadValidation,
     PassThroughController,
     TwoPhaseLocking,
+    make_update_controller,
 )
 
 __all__ = [
@@ -42,6 +46,8 @@ __all__ = [
     "AccessController",
     "PassThroughController",
     "TwoPhaseLocking",
+    "OccReadValidation",
+    "make_update_controller",
     "LockWait",
     "IndexEntry",
     "VersionedHashIndex",

@@ -51,6 +51,12 @@ class LockWait(Exception):
 class AccessController:
     """Strategy hooks called around every page access and txn boundary."""
 
+    #: Whether this controller's engine emits the OCC-era counters
+    #: (``engine.occ_*``, ``engine.plan_cache_hits``, ...).  Only the
+    #: optimistic personality sets this: legacy-mode counter fingerprints
+    #: must stay bit-for-bit identical to the pre-OCC engine.
+    emits_occ_counters = False
+
     def attach(self, engine: "HeapEngine") -> None:
         self.engine = engine
 
@@ -62,6 +68,14 @@ class AccessController:
 
     def before_write(self, txn: Transaction, page: Page) -> None:
         pass
+
+    def before_prepare(self, txn: Transaction) -> None:
+        """Last chance to veto a commit (OCC read-set validation).
+
+        Called by :meth:`HeapEngine.prepare_commit` while the transaction is
+        still ACTIVE; raising :class:`TransactionAborted` here leaves the
+        transaction fully revertible.
+        """
 
     def on_finish(self, txn: Transaction) -> None:
         """Called after commit completes or abort finishes."""
@@ -115,6 +129,116 @@ class TwoPhaseLocking(AccessController):
     def write_locked_by_other(self, txn: Transaction, page: Page) -> bool:
         holders = self.manager.holders_of(page.page_id)
         return any(holder != txn.txn_id for holder in holders)
+
+
+class OccReadValidation(AccessController):
+    """Timestamp-ordered optimistic reads; writers keep page X locks.
+
+    Readers never latch: :meth:`before_read` records the page's mutation
+    stamp into the transaction's read-set (``txn.read_stamps``) on first
+    touch.  :meth:`before_prepare` performs backward validation — the
+    transaction commits only if every optimistically read page is unchanged
+    since it was read *and* not exclusively locked by a concurrent writer;
+    otherwise it aborts with reason ``occ-conflict`` and the driver retries.
+
+    Writes are unchanged from 2PL: X locks, held to commit.  That keeps
+    write-write conflicts, the insert-stripe allocator, the dirty-page
+    checkpoint filter, and — crucially — the version-vector serialization
+    order the replication layer broadcasts in, all identical to the locking
+    engine.  Validation happens synchronously inside ``pre_commit``, so the
+    commit (= validation) order *is* the version order.
+
+    The stamp is bumped by every ``Page.put`` — including uncommitted
+    writes and undo reverts — so a reader that observed another writer's
+    in-place update aborts whether that writer commits (no further puts,
+    but then it still holds X at our validation) or rolls back (the revert
+    bumps the stamp).  Pages the transaction itself writes leave the
+    read-set at X-acquisition time, after an early stamp check; from then
+    on the lock, not the stamp, protects them.
+    """
+
+    emits_occ_counters = True
+
+    def __init__(self, manager: Optional[LockManager] = None) -> None:
+        self.manager = manager if manager is not None else LockManager()
+
+    def _acquire_x(self, txn: Transaction, page: Page) -> None:
+        manager = self.manager
+        fast = manager.fast_grants
+        request = manager.acquire(txn.txn_id, page.page_id, LockMode.EXCLUSIVE)
+        counters = self.engine.counters
+        if manager.fast_grants != fast:
+            counters.add("engine.lock_fast_grants")
+        if not request.granted:
+            counters.add("locks.waits")
+            raise LockWait(request)
+        # The page is now lock-protected; retire any optimistic read of it,
+        # aborting if it changed between the read and this X grant (the
+        # stamp would otherwise be invalidated by our own writes).
+        stamp = txn.read_stamps.pop(page.page_id, None)
+        if stamp is not None and page.stamp != stamp:
+            counters.add("engine.occ_aborts")
+            raise TransactionAborted(
+                f"txn {txn.txn_id} page {page.page_id} changed between read and write",
+                reason="occ-conflict",
+            )
+
+    def before_read(self, txn: Transaction, page: Page) -> None:
+        if page.page_id.table in txn.write_intent:
+            # Declared read-modify-write: take X up front, exactly like the
+            # 2PL controller (avoids upgrade deadlocks and self-invalidation).
+            self._acquire_x(txn, page)
+        else:
+            txn.read_stamps.setdefault(page.page_id, page.stamp)
+
+    def before_write(self, txn: Transaction, page: Page) -> None:
+        self._acquire_x(txn, page)
+
+    def before_prepare(self, txn: Transaction) -> None:
+        self.engine.counters.add("engine.occ_validations")
+        read_stamps = txn.read_stamps
+        if not read_stamps:
+            return
+        store = self.engine.store
+        manager = self.manager
+        for page_id, stamp in read_stamps.items():
+            page = store.get(page_id)
+            if page.stamp != stamp or manager.exclusively_locked_by_other(
+                page_id, txn.txn_id
+            ):
+                self.engine.counters.add("engine.occ_aborts")
+                raise TransactionAborted(
+                    f"txn {txn.txn_id} read-set validation failed on {page_id}",
+                    reason="occ-conflict",
+                )
+
+    def on_finish(self, txn: Transaction) -> None:
+        self.manager.release_all(txn.txn_id)
+
+    def page_is_dirty(self, page: Page) -> bool:
+        return self.manager.exclusively_locked(page.page_id)
+
+    def write_locked_by_other(self, txn: Transaction, page: Page) -> bool:
+        holders = self.manager.holders_of(page.page_id)
+        return any(holder != txn.txn_id for holder in holders)
+
+
+#: Valid values for the ``read_concurrency`` configuration knob.
+READ_CONCURRENCY_MODES = ("occ", "2pl")
+
+
+def make_update_controller(
+    read_concurrency: str = "occ", manager: Optional[LockManager] = None
+) -> AccessController:
+    """Build the update-path concurrency controller for a master engine."""
+    if read_concurrency == "occ":
+        return OccReadValidation(manager)
+    if read_concurrency == "2pl":
+        return TwoPhaseLocking(manager)
+    raise ValueError(
+        f"unknown read_concurrency {read_concurrency!r}; expected one of "
+        f"{READ_CONCURRENCY_MODES}"
+    )
 
 
 class HeapEngine:
@@ -171,8 +295,14 @@ class HeapEngine:
         return txn
 
     def prepare_commit(self, txn: Transaction) -> List[PageOp]:
-        """Freeze the write-set; locks stay held until :meth:`finish_commit`."""
+        """Freeze the write-set; locks stay held until :meth:`finish_commit`.
+
+        The controller may veto here (OCC read-set validation) by raising
+        :class:`TransactionAborted`; the transaction is then still ACTIVE
+        and fully revertible via :meth:`abort`.
+        """
         txn.require_active()
+        self.controller.before_prepare(txn)
         txn.state = TxnState.PREPARED
         return list(txn.redo)
 

@@ -26,6 +26,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Table:
     """One table: schema + pages + a primary hash index + tree indexes."""
 
+    __slots__ = (
+        "schema",
+        "name",
+        "engine",
+        "store",
+        "counters",
+        "pk_index",
+        "indexes",
+        "_index_cols",
+        "_index_positions",
+        "row_count",
+        "_nonfull",
+    )
+
     def __init__(self, schema: TableSchema, engine: "HeapEngine") -> None:
         self.schema = schema
         self.name = schema.name

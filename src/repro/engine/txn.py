@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.ids import PageId, TxnId
 from repro.common.versions import VersionVector
@@ -30,7 +30,7 @@ class TxnState(enum.Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class UndoRecord:
     """Before/after images of one row-slot change."""
 
@@ -41,7 +41,7 @@ class UndoRecord:
     after: Optional[Tuple]
 
 
-@dataclass
+@dataclass(slots=True)
 class Savepoint:
     """Journal/write-set lengths at statement start (statement rollback)."""
 
@@ -67,6 +67,10 @@ class Transaction:
     redo: List[PageOp] = field(default_factory=list)
     tables_written: Set[str] = field(default_factory=set)
     pages_read: Set[PageId] = field(default_factory=set)
+    #: OCC read-set: page -> mutation stamp observed at *first* read.  Only
+    #: populated when the engine's controller is optimistic; 2PL leaves it
+    #: empty.
+    read_stamps: Dict[PageId, int] = field(default_factory=dict)
     start_time: float = 0.0
 
     @property

@@ -23,7 +23,7 @@ from repro.common.errors import NodeUnavailable
 from repro.common.versions import VersionVector
 from repro.core.master import MasterReplica
 from repro.core.slave import SlaveReplica
-from repro.engine.engine import TwoPhaseLocking
+from repro.engine.engine import make_update_controller
 
 
 def cleanup_after_master_failure(
@@ -60,19 +60,22 @@ def elect_new_master(candidates: Sequence[SlaveReplica]) -> SlaveReplica:
 
 
 def promote_slave_to_master(
-    slave: SlaveReplica, confirmed: Optional[VersionVector] = None
+    slave: SlaveReplica,
+    confirmed: Optional[VersionVector] = None,
+    read_concurrency: str = "occ",
 ) -> MasterReplica:
     """Step 2: switch a slave into master mode.
 
     The slave applies everything it buffered (all of it is confirmed after
     :func:`cleanup_after_master_failure`), adopts the confirmed version
-    vector, and its engine switches to 2PL.  The same engine object keeps
-    serving — its warm state is exactly why in-memory failover is fast.
+    vector, and its engine switches to the configured update-path
+    concurrency controller.  The same engine object keeps serving — its
+    warm state is exactly why in-memory failover is fast.
     """
     slave.apply_all_pending()
     engine = slave.engine
     engine.abort_all_active(reason="promotion")
-    engine.set_controller(TwoPhaseLocking())
+    engine.set_controller(make_update_controller(read_concurrency))
     if confirmed is not None:
         engine.versions = confirmed.copy()
     else:

@@ -17,7 +17,8 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 ProcessGen = Generator["Event", Any, Any]
 
@@ -243,13 +244,29 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a heap of timed callbacks plus a virtual clock."""
+    """The event loop: a heap of timed callbacks plus a virtual clock.
+
+    Zero-delay callbacks — event deliveries, process wake-ups, immediate
+    timeouts — dominate every workload, so they bypass the heap entirely
+    and go onto a FIFO *ready queue*.  This is ordering-exact with the
+    pure-heap implementation: a heap entry due at the current time ``T``
+    was necessarily pushed at some earlier time (positive delays only land
+    strictly in the future), hence with a smaller sequence number than any
+    ready entry appended *at* ``T``.  Draining due heap entries first and
+    then the ready queue in FIFO order therefore reproduces the exact
+    ``(time, seq)`` dispatch order.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[tuple[float, int, Callable, tuple]] = []
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._ready_q: Deque[Tuple[Callable, tuple]] = deque()
         self._seq = 0
         self._unhandled: List[BaseException] = []
+        #: Zero-delay dispatches that bypassed the heap.  Deliberately a
+        #: plain attribute, not a :class:`Counters` entry: fingerprints hash
+        #: every counter and this must not perturb legacy fingerprints.
+        self.fast_resumes = 0
 
     def now(self) -> float:
         return self._now
@@ -257,10 +274,19 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay == 0.0:
+            self.fast_resumes += 1
+            self._ready_q.append((fn, args))
+            return
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
+        when = self._now + delay
+        if when <= self._now:  # delay below float resolution: treat as now
+            self.fast_resumes += 1
+            self._ready_q.append((fn, args))
+            return
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
 
     def event(self) -> Event:
         return Event(self)
@@ -280,7 +306,8 @@ class Simulator:
 
     # -- event outcome delivery ----------------------------------------------
     def _ready(self, event: Event) -> None:
-        self.schedule(0.0, self._deliver, event)
+        self.fast_resumes += 1
+        self._ready_q.append((self._deliver, (event,)))
 
     def _deliver(self, event: Event) -> None:
         if not event.ok and not event._callbacks and not event.defused:
@@ -296,19 +323,34 @@ class Simulator:
         Returns the virtual time at which the loop stopped.  Re-raises the
         first unhandled process exception, if any.
         """
-        while self._heap:
-            when, _seq, fn, args = self._heap[0]
-            if until is not None and when > until:
-                self._now = until
+        heap = self._heap
+        ready = self._ready_q
+        pop = heapq.heappop
+        unhandled = self._unhandled
+        while True:
+            # Due heap entries (pushed before now, so smaller seq) first.
+            if heap and heap[0][0] <= self._now:
+                entry = pop(heap)
+                fn = entry[2]
+                fn(*entry[3])
+            elif ready:
+                fn, args = ready.popleft()
+                fn(*args)
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                entry = pop(heap)
+                self._now = when
+                fn = entry[2]
+                fn(*entry[3])
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
                 break
-            heapq.heappop(self._heap)
-            self._now = when
-            fn(*args)
-            if self._unhandled:
-                raise self._unhandled.pop(0)
-        else:
-            if until is not None and until > self._now:
-                self._now = until
+            if unhandled:
+                raise unhandled.pop(0)
         return self._now
 
     def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:

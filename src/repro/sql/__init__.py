@@ -9,6 +9,13 @@ in projections and SET clauses, and ``?`` parameters — over the
 from repro.sql.ast_nodes import Statement
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse_statement
-from repro.sql.executor import ResultSet, SqlExecutor
+from repro.sql.executor import ResultSet, SqlExecutor, parse_cached
 
-__all__ = ["tokenize", "parse_statement", "Statement", "SqlExecutor", "ResultSet"]
+__all__ = [
+    "tokenize",
+    "parse_statement",
+    "parse_cached",
+    "Statement",
+    "SqlExecutor",
+    "ResultSet",
+]

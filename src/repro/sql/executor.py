@@ -743,6 +743,28 @@ def _table_ref(name: str):
     return TableRef(name, None)
 
 
+#: Process-wide parsed-statement cache, keyed by statement identity (the
+#: exact SQL text).  AST nodes are frozen dataclasses, so one parse is
+#: safely shared by every executor in the cluster — each node compiles its
+#: own plan (plans bind engine-specific resolvers and row-count
+#: heuristics), but the lex/parse work happens once per distinct statement
+#: instead of once per node.
+_PARSE_CACHE: Dict[str, Statement] = {}
+_PARSE_CACHE_MAX = 4096
+
+
+def parse_cached(sql: str) -> Statement:
+    """Parse ``sql`` through the shared statement cache."""
+    stmt = _PARSE_CACHE.get(sql)
+    if stmt is None:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            # Workloads use a fixed statement set; an overflow means
+            # generated one-off SQL, where caching has no value anyway.
+            _PARSE_CACHE.clear()
+        stmt = _PARSE_CACHE[sql] = parse_statement(sql)
+    return stmt
+
+
 class SqlExecutor:
     """Parse/plan-once, execute-many SQL front end for one engine."""
 
@@ -750,6 +772,12 @@ class SqlExecutor:
         self.engine = engine
         self.now = now if now is not None else (lambda: 0.0)
         self._plans: Dict[str, object] = {}
+        #: Plain attribute, not a Counters entry: always maintained (the
+        #: micro-benchmarks read it), while the ``engine.plan_cache_hits``
+        #: counter is emitted only under the OCC controller so legacy-mode
+        #: counter fingerprints stay bit-for-bit stable.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def execute(
         self, txn: Transaction, sql: str, params: Sequence[object] = ()
@@ -757,13 +785,19 @@ class SqlExecutor:
         """Execute one statement inside ``txn``."""
         plan = self._plans.get(sql)
         if plan is None:
+            self.plan_cache_misses += 1
             plan = self._compile(sql)
             self._plans[sql] = plan
+        else:
+            self.plan_cache_hits += 1
+            engine = self.engine
+            if engine.controller.emits_occ_counters:
+                engine.counters.add("engine.plan_cache_hits")
         ctx = ExecContext(params, self.now)
         return plan.run(self.engine, txn, ctx)
 
     def _compile(self, sql: str):
-        stmt = parse_statement(sql)
+        stmt = parse_cached(sql)
         return compile_statement(self.engine, stmt)
 
     def invalidate_plans(self) -> None:

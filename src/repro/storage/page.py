@@ -24,13 +24,19 @@ Row = Tuple
 class Page:
     """A fixed-capacity slotted page holding rows of one table."""
 
-    __slots__ = ("page_id", "capacity", "slots", "version", "live_rows", "_free_hint")
+    __slots__ = ("page_id", "capacity", "slots", "version", "stamp", "live_rows", "_free_hint")
 
     def __init__(self, page_id: PageId, capacity: int = ROWS_PER_PAGE, version: int = 0) -> None:
         self.page_id = page_id
         self.capacity = capacity
         self.slots: List[Optional[Row]] = [None] * capacity
         self.version = version
+        #: Monotonic mutation stamp, bumped on *every* content change —
+        #: including uncommitted writes and undo reverts, unlike ``version``
+        #: which only moves at commit stamping.  The OCC read path validates
+        #: its read-set against this, so rolled-back writes still invalidate
+        #: readers that saw them.
+        self.stamp = 0
         self.live_rows = 0
         #: Lowest slot that could be free; every slot below it is occupied.
         #: Keeps hot insert pages from rescanning all slots per allocation.
@@ -42,6 +48,7 @@ class Page:
 
     def put(self, slot: int, row: Optional[Row]) -> None:
         """Set a slot's contents, maintaining the live-row count."""
+        self.stamp += 1
         before = self.slots[slot]
         if before is None and row is not None:
             self.live_rows += 1
@@ -92,6 +99,7 @@ class Page:
         self.capacity = other.capacity
         self.slots = list(other.slots)
         self.version = other.version
+        self.stamp += 1  # contents changed: invalidate optimistic readers
         self.live_rows = other.live_rows
         self._free_hint = 0
 

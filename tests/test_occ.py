@@ -1,0 +1,297 @@
+"""Unit tests for the optimistic read path (OccReadValidation).
+
+Covers read-set bookkeeping, backward validation at pre-commit, the
+early stamp check at X-acquisition, abort/retry behaviour, dirty-read
+rejection, writer X-lock semantics (unchanged from 2PL), the uncontended
+lock fast path, and the counter-emission gating that keeps legacy 2PL
+fingerprints byte-stable.
+"""
+
+import pytest
+
+from repro.common.errors import TransactionAborted
+from repro.engine import (
+    Column,
+    HeapEngine,
+    LockWait,
+    OccReadValidation,
+    TableSchema,
+    TwoPhaseLocking,
+    TxnMode,
+    make_update_controller,
+)
+from repro.engine.locks import FAST_GRANT, LockManager, LockMode
+from repro.sql import SqlExecutor
+
+ITEM = TableSchema(
+    "item",
+    [
+        Column("i_id", "int", nullable=False),
+        Column("i_title", "str"),
+        Column("i_stock", "int"),
+    ],
+    primary_key=("i_id",),
+)
+
+
+def make_engine(controller=None):
+    engine = HeapEngine(
+        controller=controller if controller is not None else OccReadValidation(),
+        rows_per_page=4,
+    )
+    engine.create_table(ITEM)
+    txn = engine.begin()
+    for i in range(8):
+        engine.table("item").insert_row(
+            txn, {"i_id": i, "i_title": f"book-{i}", "i_stock": 10}
+        )
+    engine.commit(txn)
+    return engine
+
+
+def loc_of(engine, item_id):
+    txn = engine.begin(TxnMode.READ_ONLY)
+    for loc, row in engine.table("item").scan(txn):
+        if row[0] == item_id:
+            engine.commit(txn)
+            return loc
+    raise AssertionError(f"item {item_id} not found")
+
+
+class TestReadSetBookkeeping:
+    def test_optimistic_read_records_first_stamp(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        txn = engine.begin()
+        engine.table("item").fetch(txn, loc)
+        page = engine.store.get(loc[0])
+        assert txn.read_stamps == {loc[0]: page.stamp}
+
+    def test_repeat_read_keeps_first_stamp(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        txn = engine.begin()
+        engine.table("item").fetch(txn, loc)
+        first = dict(txn.read_stamps)
+        engine.table("item").fetch(txn, loc)
+        assert txn.read_stamps == first
+
+    def test_write_intent_read_takes_x_and_skips_read_set(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        txn = engine.begin(write_intent=["item"])
+        engine.table("item").fetch(txn, loc)
+        assert txn.read_stamps == {}
+        assert engine.controller.manager.exclusively_locked(loc[0])
+        engine.commit(txn)
+
+    def test_own_write_retires_optimistic_read(self):
+        """X-acquisition pops the page so our own puts cannot self-abort."""
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        txn = engine.begin()
+        engine.table("item").fetch(txn, loc)
+        engine.table("item").update_row(txn, loc, {"i_stock": 5})
+        assert loc[0] not in txn.read_stamps
+        engine.commit(txn)  # own writes must not fail validation
+
+    def test_2pl_leaves_read_set_empty(self):
+        engine = make_engine(controller=TwoPhaseLocking())
+        loc = loc_of(engine, 0)
+        txn = engine.begin()
+        engine.table("item").fetch(txn, loc)
+        assert txn.read_stamps == {}
+        engine.commit(txn)
+
+
+class TestValidation:
+    def test_unchanged_read_set_commits(self):
+        engine = make_engine()
+        loc_r, loc_w = loc_of(engine, 0), loc_of(engine, 4)
+        txn = engine.begin()
+        engine.table("item").fetch(txn, loc_r)
+        engine.table("item").update_row(txn, loc_w, {"i_stock": 3})
+        engine.commit(txn)
+        assert engine.counters.get("engine.occ_validations") >= 1
+        assert engine.counters.get("engine.occ_aborts") == 0
+
+    def test_committed_overwrite_aborts_reader_at_validation(self):
+        engine = make_engine()
+        loc_r, loc_w = loc_of(engine, 0), loc_of(engine, 4)
+        reader = engine.begin()
+        engine.table("item").fetch(reader, loc_r)
+        writer = engine.begin()
+        engine.table("item").update_row(writer, loc_r, {"i_stock": 1})
+        engine.commit(writer)
+        engine.table("item").update_row(reader, loc_w, {"i_stock": 2})
+        with pytest.raises(TransactionAborted) as err:
+            engine.commit(reader)
+        assert err.value.reason == "occ-conflict"
+        assert reader.active  # still revertible: validation vetoes pre-PREPARED
+        engine.abort(reader, reason=err.value.reason)
+        assert engine.counters.get("engine.occ_aborts") == 1
+
+    def test_uncommitted_writer_holding_x_aborts_reader(self):
+        """Dirty-read rejection: the writer may still roll back."""
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        reader = engine.begin()
+        engine.table("item").fetch(reader, loc)
+        writer = engine.begin()
+        engine.table("item").update_row(writer, loc, {"i_stock": 1})
+        # Writer is still ACTIVE: its put bumped the stamp and it holds X.
+        with pytest.raises(TransactionAborted) as err:
+            engine.commit(reader)
+        assert err.value.reason == "occ-conflict"
+        engine.abort(reader)
+        engine.abort(writer)
+
+    def test_aborted_writer_still_invalidates_reader(self):
+        """The undo revert bumps the stamp too — conservative but safe."""
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        reader = engine.begin()
+        engine.table("item").fetch(reader, loc)
+        writer = engine.begin()
+        engine.table("item").update_row(writer, loc, {"i_stock": 1})
+        engine.abort(writer)
+        with pytest.raises(TransactionAborted):
+            engine.commit(reader)
+        engine.abort(reader)
+
+    def test_read_only_transactions_never_validate_against_writes_elsewhere(self):
+        engine = make_engine()
+        loc_r, loc_w = loc_of(engine, 0), loc_of(engine, 4)
+        reader = engine.begin()
+        engine.table("item").fetch(reader, loc_r)
+        writer = engine.begin()
+        engine.table("item").update_row(writer, loc_w, {"i_stock": 1})
+        engine.commit(writer)
+        # Disjoint pages: reader's read-set is intact, commit succeeds.
+        engine.commit(reader)
+
+
+class TestAbortRetry:
+    def test_conflicting_write_aborts_mid_statement(self):
+        """Stale read caught at X-acquisition, before any put."""
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        t1 = engine.begin()
+        engine.table("item").fetch(t1, loc)  # optimistic read
+        t2 = engine.begin()
+        engine.table("item").update_row(t2, loc, {"i_stock": 1})
+        engine.commit(t2)
+        with pytest.raises(TransactionAborted) as err:
+            engine.table("item").update_row(t1, loc, {"i_stock": 2})
+        assert err.value.reason == "occ-conflict"
+        assert not t1.journal  # aborted before the first put
+        engine.abort(t1)
+
+    def test_retry_reaches_serial_equivalence(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+
+        def read_modify_write(delta):
+            txn = engine.begin()
+            row = engine.table("item").fetch(txn, loc)
+            engine.table("item").update_row(txn, loc, {"i_stock": row[2] + delta})
+            engine.commit(txn)
+
+        t1 = engine.begin()
+        stale = engine.table("item").fetch(t1, loc)
+        read_modify_write(+5)  # concurrent committer invalidates t1's read
+        with pytest.raises(TransactionAborted):
+            engine.table("item").update_row(t1, loc, {"i_stock": stale[2] - 3})
+        engine.abort(t1)
+        read_modify_write(-3)  # the retry re-reads and re-applies
+        ro = engine.begin(TxnMode.READ_ONLY)
+        assert engine.table("item").fetch(ro, loc)[2] == 10 + 5 - 3
+
+
+class TestWriterLocks:
+    def test_concurrent_writer_blocks_like_2pl(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        t1 = engine.begin()
+        engine.table("item").update_row(t1, loc, {"i_stock": 1})
+        t2 = engine.begin()
+        with pytest.raises(LockWait):
+            engine.table("item").update_row(t2, loc, {"i_stock": 2})
+        engine.abort(t2)
+        engine.commit(t1)
+
+
+class TestLockFastPath:
+    def test_uncontended_grant_returns_singleton(self):
+        manager = LockManager()
+        request = manager.acquire(1, "page-a", LockMode.EXCLUSIVE)
+        assert request is FAST_GRANT
+        assert request.granted
+        assert manager.fast_grants == 1
+
+    def test_reentrant_grant_does_not_count_fast(self):
+        manager = LockManager()
+        manager.acquire(1, "page-a", LockMode.EXCLUSIVE)
+        again = manager.acquire(1, "page-a", LockMode.SHARED)
+        assert again is FAST_GRANT
+        assert manager.fast_grants == 1
+
+    def test_contended_path_allocates_real_request(self):
+        manager = LockManager()
+        manager.acquire(1, "page-a", LockMode.EXCLUSIVE)
+        request = manager.acquire(2, "page-a", LockMode.SHARED)
+        assert request is not FAST_GRANT
+        assert not request.granted
+        assert manager.fast_grants == 1
+
+    def test_fast_grants_counter_emitted_under_occ(self):
+        engine = make_engine()
+        loc = loc_of(engine, 0)
+        txn = engine.begin()
+        engine.table("item").update_row(txn, loc, {"i_stock": 1})
+        engine.commit(txn)
+        assert engine.counters.get("engine.lock_fast_grants") >= 1
+
+
+class TestCounterGating:
+    """Legacy 2PL runs must emit no OCC-era counters (fingerprint safety)."""
+
+    def run_workload(self, controller):
+        engine = make_engine(controller=controller)
+        sql = SqlExecutor(engine)
+        for i in range(3):
+            txn = engine.begin(write_intent=["item"])
+            sql.execute(txn, "UPDATE item SET i_stock = i_stock - 1 WHERE i_id = ?", (i,))
+            engine.commit(txn)
+            txn = engine.begin(TxnMode.READ_ONLY)
+            sql.execute(txn, "SELECT i_stock FROM item WHERE i_id = ?", (i,))
+            engine.commit(txn)
+        return engine, sql
+
+    def test_2pl_emits_no_occ_counters(self):
+        engine, sql = self.run_workload(TwoPhaseLocking())
+        occ_keys = [k for k in engine.counters.snapshot() if k.startswith("engine.occ")]
+        assert occ_keys == []
+        assert engine.counters.get("engine.lock_fast_grants") == 0
+        assert engine.counters.get("engine.plan_cache_hits") == 0
+        # The plain attributes still count (micro-benchmarks read them).
+        assert sql.plan_cache_hits > 0
+
+    def test_occ_emits_hotpath_counters(self):
+        engine, sql = self.run_workload(OccReadValidation())
+        assert engine.counters.get("engine.occ_validations") >= 3
+        assert engine.counters.get("engine.lock_fast_grants") >= 1
+        assert engine.counters.get("engine.plan_cache_hits") > 0
+        assert sql.plan_cache_hits == engine.counters.get("engine.plan_cache_hits")
+
+
+class TestFactory:
+    def test_factory_personalities(self):
+        assert isinstance(make_update_controller("occ"), OccReadValidation)
+        assert isinstance(make_update_controller("2pl"), TwoPhaseLocking)
+        assert make_update_controller().emits_occ_counters
+        assert not make_update_controller("2pl").emits_occ_counters
+
+    def test_factory_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_update_controller("3pl")

@@ -1,0 +1,234 @@
+"""Property-based equivalence of the OCC read path with 2PL.
+
+The optimistic controller must admit exactly the serializable histories
+the locking engine did.  Hypothesis generates random interleaved
+schedules of read-compute-write transactions and runs them under OCC;
+transactions the validator rejects are retried serially afterwards
+(the cluster drivers' retry loop, collapsed).  The resulting commit
+order is then replayed serially on a fresh 2PL engine: the committed
+final states and version vectors must match exactly — if a stale or
+dirty read had ever leaked into a committed OCC transaction, the
+serial replay would diverge.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import TransactionAborted
+from repro.engine import (
+    Column,
+    HeapEngine,
+    LockWait,
+    OccReadValidation,
+    TableSchema,
+    TwoPhaseLocking,
+    TxnMode,
+)
+from repro.sql import SqlExecutor
+
+ACCOUNTS = TableSchema(
+    "accounts",
+    [Column("id", "int", nullable=False), Column("balance", "int")],
+    primary_key=("id",),
+)
+
+N_ACCOUNTS = 8
+INITIAL = 100
+
+
+def build(controller):
+    engine = HeapEngine(controller=controller, rows_per_page=2)
+    engine.create_table(ACCOUNTS)
+    engine.bulk_load(
+        "accounts", [{"id": i, "balance": INITIAL} for i in range(N_ACCOUNTS)]
+    )
+    return engine
+
+
+def state_of(engine):
+    ro = engine.begin(TxnMode.READ_ONLY)
+    rows = sorted(r for _l, r in engine.table("accounts").scan(ro))
+    engine.commit(ro)
+    return rows
+
+
+class TxnScript:
+    """One read-compute-write transaction: the written value depends on
+    the optimistic read, so any stale read surfaces in the final state."""
+
+    def __init__(self, read_acct, write_acct, delta):
+        self.read_acct = read_acct
+        self.write_acct = write_acct
+        self.delta = delta
+
+    def run(self, engine, sql):
+        """Execute start-to-finish; raises if the engine rejects it."""
+        txn = engine.begin()
+        try:
+            self.start(sql, txn)
+            self.write(sql, txn)
+        except (TransactionAborted, LockWait):
+            engine.abort(txn)
+            raise
+        self.commit(engine, txn)
+
+    def start(self, sql, txn):
+        self.seen = sql.execute(
+            txn, "SELECT balance FROM accounts WHERE id = ?", (self.read_acct,)
+        ).scalar()
+
+    def write(self, sql, txn):
+        sql.execute(
+            txn,
+            "UPDATE accounts SET balance = ? WHERE id = ?",
+            (self.seen + self.delta, self.write_acct),
+        )
+
+    def commit(self, engine, txn):
+        engine.commit(txn)
+
+
+# A schedule: up to 4 transactions, plus an interleaving pattern.  Each
+# transaction contributes three schedulable steps (read, write, commit);
+# the interleaving is a list of txn indices consumed round-robin.
+scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    min_size=1,
+    max_size=4,
+)
+interleavings = st.lists(st.integers(min_value=0, max_value=3), max_size=24)
+
+
+def run_interleaved_occ(engine, sql, txns, order):
+    """Drive the schedule; rejected txns retry serially.  Returns commit order."""
+    STEPS = ("start", "write", "commit")
+    progress = [0] * len(txns)
+    handles = [None] * len(txns)
+    committed = []
+    failed = []
+
+    def step(i):
+        if progress[i] >= len(STEPS):
+            return
+        txn = handles[i]
+        if txn is None:
+            txn = handles[i] = engine.begin()
+        stage = STEPS[progress[i]]
+        try:
+            if stage == "start":
+                txns[i].start(sql, txn)
+            elif stage == "write":
+                txns[i].write(sql, txn)
+            else:
+                txns[i].commit(engine, txn)
+                committed.append(i)
+            progress[i] += 1
+        except (TransactionAborted, LockWait):
+            engine.abort(txn)
+            progress[i] = len(STEPS)
+            failed.append(i)
+
+    for i in order:
+        if i < len(txns):
+            step(i)
+    # Drain: finish every in-flight transaction in index order.
+    for i in range(len(txns)):
+        while progress[i] < len(STEPS):
+            step(i)
+    # Retry loop for validator-rejected transactions, serially: each must
+    # now succeed (no concurrency left to conflict with).
+    for i in failed:
+        txns[i].run(engine, sql)
+        committed.append(i)
+    return committed
+
+
+@settings(max_examples=60, deadline=None)
+@given(scripts, interleavings)
+def test_occ_schedules_replay_serially_under_2pl(script, order):
+    txns = [TxnScript(r, w, d) for r, w, d in script]
+    occ = build(OccReadValidation())
+    occ_sql = SqlExecutor(occ)
+    commit_order = run_interleaved_occ(occ, occ_sql, txns, order)
+    assert sorted(commit_order) == list(range(len(txns)))  # all retried to commit
+
+    twopl = build(TwoPhaseLocking())
+    twopl_sql = SqlExecutor(twopl)
+    replay = [TxnScript(t.read_acct, t.write_acct, t.delta) for t in txns]
+    for i in commit_order:
+        replay[i].run(twopl, twopl_sql)
+
+    assert state_of(occ) == state_of(twopl)
+    assert occ.versions == twopl.versions
+    # Every committed OCC transaction observed exactly the value the
+    # equivalent serial history reads at its position.
+    for occ_txn, serial_txn in zip(txns, replay):
+        assert occ_txn.seen == serial_txn.seen
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts)
+def test_serial_occ_equals_serial_2pl(script):
+    """With no concurrency at all the two controllers are byte-equivalent."""
+    occ = build(OccReadValidation())
+    twopl = build(TwoPhaseLocking())
+    occ_sql, twopl_sql = SqlExecutor(occ), SqlExecutor(twopl)
+    for r, w, d in script:
+        TxnScript(r, w, d).run(occ, occ_sql)
+        TxnScript(r, w, d).run(twopl, twopl_sql)
+    assert state_of(occ) == state_of(twopl)
+    assert occ.versions == twopl.versions
+    assert occ.counters.get("engine.occ_aborts") == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts, interleavings)
+def test_aborted_occ_transactions_leave_no_trace(script, order):
+    """State(schedule with occ aborts, no retries) == state(commits alone)."""
+    txns = [TxnScript(r, w, d) for r, w, d in script]
+    occ = build(OccReadValidation())
+    sql = SqlExecutor(occ)
+    STEPS = ("start", "write", "commit")
+    progress = [0] * len(txns)
+    handles = [None] * len(txns)
+    committed = []
+
+    def step(i):
+        if progress[i] >= len(STEPS):
+            return
+        txn = handles[i]
+        if txn is None:
+            txn = handles[i] = occ.begin()
+        try:
+            stage = STEPS[progress[i]]
+            if stage == "start":
+                txns[i].start(sql, txn)
+            elif stage == "write":
+                txns[i].write(sql, txn)
+            else:
+                txns[i].commit(occ, txn)
+                committed.append(i)
+            progress[i] += 1
+        except (TransactionAborted, LockWait):
+            occ.abort(txn)
+            progress[i] = len(STEPS)
+
+    for i in order:
+        if i < len(txns):
+            step(i)
+    for i in range(len(txns)):
+        while progress[i] < len(STEPS):
+            step(i)
+
+    # Replay ONLY the committed transactions serially on a fresh engine.
+    clean = build(OccReadValidation())
+    clean_sql = SqlExecutor(clean)
+    for i in committed:
+        TxnScript(txns[i].read_acct, txns[i].write_acct, txns[i].delta).run(
+            clean, clean_sql
+        )
+    assert state_of(occ) == state_of(clean)
+    assert occ.versions == clean.versions
