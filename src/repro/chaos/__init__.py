@@ -7,23 +7,28 @@ under *messy* failures, not just clean scheduled kills.  This package adds:
   duplication, extra delay, partitions) consulted by the replication
   channels and scheduler RPCs;
 * :mod:`repro.chaos.faults` — seeded, declarative fault plans that schedule
-  node crashes, reintegrations, scheduler kills, link faults and healed
-  partitions against a running cluster;
+  node crashes, reintegrations, scheduler kills, link faults, healed
+  partitions and storage faults (torn writes, fsync lies, bit flips)
+  against a running cluster;
 * :mod:`repro.chaos.invariants` — Jepsen-lite post-quiescence checkers
   (durability, version convergence, snapshot consistency, write-set
-  conservation);
+  conservation, durable-prefix / no-ghost-commits on durable clusters);
 * :mod:`repro.chaos.scenario` — the seeded end-to-end chaos scenario runner
   whose metric fingerprint replays identically from its printed seed.
 """
 
 from repro.chaos.faults import (
+    BitFlip,
     CrashNode,
     CrashScheduler,
     FaultPlan,
+    FsyncLie,
     LinkFault,
     Partition,
     ReintegrateNode,
+    RestartNode,
     Slowdown,
+    TornWrite,
 )
 from repro.chaos.invariants import (
     InvariantResult,
@@ -31,6 +36,8 @@ from repro.chaos.invariants import (
     check_buffer_bounds,
     check_counter_conservation,
     check_durable_commits,
+    check_durable_prefix,
+    check_no_ghost_commits,
     check_quorum_durability,
     check_rejoin_convergence,
     check_replica_convergence,
@@ -40,32 +47,40 @@ from repro.chaos.network import ANY, LinkState, NetworkModel
 from repro.chaos.scenario import (
     ChaosReport,
     default_chaos_plan,
+    durability_chaos_plan,
     run_chaos_scenario,
     straggler_chaos_plan,
 )
 
 __all__ = [
     "ANY",
+    "BitFlip",
     "ChaosReport",
     "CrashNode",
     "CrashScheduler",
     "FaultPlan",
+    "FsyncLie",
     "InvariantResult",
     "LinkFault",
     "LinkState",
     "NetworkModel",
     "Partition",
     "ReintegrateNode",
+    "RestartNode",
     "Slowdown",
+    "TornWrite",
     "check_all_invariants",
     "check_buffer_bounds",
     "check_counter_conservation",
     "check_durable_commits",
+    "check_durable_prefix",
+    "check_no_ghost_commits",
     "check_quorum_durability",
     "check_rejoin_convergence",
     "check_replica_convergence",
     "check_snapshot_consistency",
     "default_chaos_plan",
+    "durability_chaos_plan",
     "run_chaos_scenario",
     "straggler_chaos_plan",
 ]

@@ -12,6 +12,7 @@ import sys
 
 from repro.chaos.scenario import (
     default_chaos_plan,
+    durability_chaos_plan,
     run_chaos_scenario,
     straggler_chaos_plan,
 )
@@ -27,10 +28,11 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
     parser.add_argument(
         "--plan",
-        choices=("default", "straggler"),
+        choices=("default", "straggler", "durability"),
         default="default",
-        help="fault plan: 'default' (loss + partition + master crash) or "
-        "'straggler' (lossy fabric + one slow-but-alive slave)",
+        help="fault plan: 'default' (loss + partition + master crash), "
+        "'straggler' (lossy fabric + one slow-but-alive slave) or "
+        "'durability' (durable WAL, storage faults, restart-from-own-disk)",
     )
     parser.add_argument(
         "--ack-policy",
@@ -80,9 +82,11 @@ def main(argv=None) -> int:
     plan_builder = {
         "default": default_chaos_plan,
         "straggler": straggler_chaos_plan,
+        "durability": durability_chaos_plan,
     }[args.plan]
     from repro.cluster.costs import CostConfig
 
+    durable = args.plan == "durability"
     report = run_chaos_scenario(
         seed=args.seed,
         plan=plan_builder(args.seed, args.duration),
@@ -92,7 +96,10 @@ def main(argv=None) -> int:
         trace=args.trace,
         ack_policy=args.ack_policy,
         quorum_k=args.quorum_k,
-        cost_config=CostConfig(read_concurrency=args.read_concurrency),
+        cost_config=CostConfig(
+            read_concurrency=args.read_concurrency, durable_wal=durable
+        ),
+        checkpoint_period=args.duration / 10.0 if durable else 0.0,
     )
     print(report.summary())
     if args.trace and report.tracer is not None:

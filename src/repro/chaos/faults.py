@@ -56,6 +56,107 @@ class ReintegrateNode:
 
 
 @dataclass(frozen=True)
+class RestartNode:
+    """Restart a crashed node from its *own* disk at ``at``.
+
+    The durable-recovery counterpart of :class:`ReintegrateNode`: the node
+    replays its checkpoint + fsynced WAL suffix locally, then gap-replays /
+    migrates only the commits it missed while down.  On a non-durable
+    cluster it degrades to the classic reintegration path.
+    """
+
+    at: float
+    node_id: str
+
+    def install(self, cluster) -> None:
+        cluster.restart_node_at(self.node_id, self.at)
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s restart node {self.node_id} from local disk"
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Arm a torn (partially written) last WAL record on ``node_id``.
+
+    The tear materialises at the node's next crash: the first record of
+    the lost tail stays on disk with a failing checksum, exercising the
+    restart scan's torn-tail truncation rule.
+    """
+
+    at: float
+    node_id: str
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.arm_torn_write,
+            self.node_id,
+        )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s arm torn WAL write on {self.node_id}"
+
+
+@dataclass(frozen=True)
+class FsyncLie:
+    """Storage that acknowledges fsync without persisting, from ``at``.
+
+    While lying, records the node believes synced are not durable: a crash
+    in the window loses them (the lost-unsynced-tail mode).  ``until=None``
+    lies forever.
+    """
+
+    at: float
+    node_id: str
+    until: Optional[float] = None
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.set_fsync_lie,
+            self.node_id,
+            True,
+        )
+        if self.until is not None:
+            cluster.sim.schedule(
+                max(0.0, self.until - cluster.sim.now()),
+                cluster.set_fsync_lie,
+                self.node_id,
+                False,
+            )
+
+    def describe(self) -> str:
+        window = f"..{self.until:g}s" if self.until is not None else ".."
+        return f"t={self.at:g}s{window} fsync lies on {self.node_id}"
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Latent corruption of one durable WAL record or checkpoint page.
+
+    The victim record/page is drawn from the cluster's seeded storage RNG
+    at install time; the damage is only observed when recovery validates
+    checksums — like a real latent sector error.
+    """
+
+    at: float
+    node_id: str
+    target: str = "wal"  # "wal" | "checkpoint"
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.inject_bitflip,
+            self.node_id,
+            self.target,
+        )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s bit flip in {self.node_id} {self.target}"
+
+
+@dataclass(frozen=True)
 class Slowdown:
     """Gray failure: inflate one node's service times from ``at``.
 
@@ -202,23 +303,54 @@ class FaultPlan:
         drop_p: float = 0.05,
         dup_p: float = 0.01,
         settle_window: float = 60.0,
+        storage_faults: bool = False,
     ) -> "FaultPlan":
         """Derive a randomised crash/reintegrate soak schedule from ``seed``.
 
         Crash times land in the first ``horizon - settle_window`` seconds so
         every reconfiguration finishes before quiescence measurement; each
         crashed node is reintegrated ``reintegrate_after`` seconds later.
+
+        With ``storage_faults=True`` each victim additionally draws one
+        storage fault (torn write / fsync-lie window / WAL bit flip) around
+        its crash, and recovers via :class:`RestartNode` (restart from own
+        disk) instead of :class:`ReintegrateNode`.  The extra draws happen
+        strictly *after* the base schedule's, so flag-off plans consume the
+        exact same RNG stream as before the flag existed — existing seeds
+        keep their fingerprints.
         """
         rng = RngStream(seed, "fault-plan")
         events = [LinkFault(at=0.0, drop_p=drop_p, dup_p=dup_p)]
         window = max(1.0, horizon - settle_window - reintegrate_after)
         victims = list(node_ids)
         rng.shuffle(victims)
+        chosen = []
         for victim in victims[: max(0, crashes)]:
             at = rng.uniform(10.0, window)
+            chosen.append((victim, at))
             events.append(CrashNode(at=at, node_id=victim))
-            events.append(
-                ReintegrateNode(at=at + reintegrate_after, node_id=victim)
-            )
+            if not storage_faults:
+                events.append(
+                    ReintegrateNode(at=at + reintegrate_after, node_id=victim)
+                )
+        if storage_faults:
+            # Drawn after every base draw (seed compatibility, see above).
+            for victim, at in chosen:
+                roll = rng.random()
+                if roll < 0.5:
+                    events.append(TornWrite(at=max(0.0, at - 1.0), node_id=victim))
+                elif roll < 0.8:
+                    events.append(
+                        FsyncLie(
+                            at=max(0.0, at - 5.0), node_id=victim, until=at + 1.0
+                        )
+                    )
+                else:
+                    events.append(
+                        BitFlip(at=max(0.0, at - 2.0), node_id=victim, target="wal")
+                    )
+                events.append(
+                    RestartNode(at=at + reintegrate_after, node_id=victim)
+                )
         events.sort(key=lambda e: e.at)
         return cls(seed=seed, events=tuple(events))

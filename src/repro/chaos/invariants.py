@@ -14,6 +14,9 @@ after a chaos run has stopped its workload and drained in-flight work:
 * **counter-conservation** — every write-set transmission is accounted
   for exactly once: ``net.write_sets_sent == slave.write_sets_received +
   net.dups_ignored + net.drops`` over the merged per-node counters.
+* **durable-prefix** / **no-ghost-commits** (durable-WAL clusters only) —
+  restart-from-own-disk recovered everything confirmed before the crash,
+  and no never-acknowledged WAL record resurfaced through recovery.
 
 Checkers only inspect *alive* replicas: the fail-stop model (an
 unreachable node is a failed node, and is killed by suspicion) means dead
@@ -342,13 +345,98 @@ def check_trace_hygiene(cluster) -> InvariantResult:
     )
 
 
+def check_durable_prefix(cluster) -> InvariantResult:
+    """Every restart-from-disk recovered at least the confirmed-at-crash prefix.
+
+    For each completed restart the cluster recorded the confirmed version
+    vector snapshotted at the moment the node crashed.  Everything at or
+    below that vector was browser-acknowledged *before* the crash, so the
+    restarted node — checkpoint restore + WAL redo + gap replay — must end
+    up holding all of it.  Nodes that re-crashed or are still mid-recovery
+    carry no obligation (their next restart will).
+    """
+    audits = getattr(cluster, "_restart_audits", [])
+    if not audits:
+        return InvariantResult("durable-prefix", True, "no restarts from disk")
+    problems: List[str] = []
+    audited = 0
+    for node_id, crash_time, confirmed in audits:
+        node = cluster.nodes.get(node_id)
+        if (
+            node is None
+            or not node.alive
+            or not node.subscribed
+            or node.slave is None
+            or node.slave.catching_up
+        ):
+            continue  # re-crashed or still recovering: excused
+        audited += 1
+        for table, version in sorted(confirmed.items()):
+            have = _table_watermark(node, table)
+            if have < version:
+                problems.append(
+                    f"{node_id}: {table}=v{version} confirmed before its "
+                    f"t={crash_time:g}s crash but only v{have} after restart"
+                )
+    if problems:
+        shown = "; ".join(problems[:5])
+        extra = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        return InvariantResult("durable-prefix", False, f"{shown}{extra}")
+    return InvariantResult(
+        "durable-prefix",
+        True,
+        f"{len(audits)} restart(s) audited, {audited} with standing obligations",
+    )
+
+
+def check_no_ghost_commits(cluster) -> InvariantResult:
+    """No never-confirmed WAL record resurfaced through a restart.
+
+    A crashed node's disk may durably hold write-sets whose commits were
+    never acknowledged to any client (its WAL fsync ran at pre-commit,
+    before the ack barrier).  Restart redo must skip them, and — because
+    post-failover version numbers are reused — nothing may have slipped
+    one into a replica's duplicate filter, where it would shadow the real
+    commit that later claimed the same versions.
+    """
+    ghosts = getattr(cluster, "_ghosts", [])
+    if not ghosts:
+        return InvariantResult("no-ghost-commits", True, "no ghost candidates recorded")
+    confirmed_ids = {
+        (master_id, txn_id) for master_id, txn_id, _versions in cluster.commit_log
+    }
+    resurfaced: List[str] = []
+    true_ghosts = 0
+    for dedup_key, master_id, txn_id in ghosts:
+        if (master_id, txn_id) in confirmed_ids:
+            continue  # confirmed after the crash snapshot: legitimate history
+        true_ghosts += 1
+        for node in cluster.nodes.values():
+            if not node.alive or node.slave is None:
+                continue
+            if dedup_key in node.slave._seen_write_sets:
+                resurfaced.append(
+                    f"ghost txn {txn_id} ({master_id}) resurfaced on {node.node_id}"
+                )
+    if resurfaced:
+        shown = "; ".join(resurfaced[:5])
+        extra = f" (+{len(resurfaced) - 5} more)" if len(resurfaced) > 5 else ""
+        return InvariantResult("no-ghost-commits", False, f"{shown}{extra}")
+    return InvariantResult(
+        "no-ghost-commits",
+        True,
+        f"{len(ghosts)} candidate(s), {true_ghosts} true ghost(s), none resurfaced",
+    )
+
+
 def check_all_invariants(
     cluster, sample_tables: Optional[Sequence[str]] = None
 ) -> List[InvariantResult]:
     """Run every checker; returns all results (failures included).
 
     The trace-hygiene checker is appended only when the cluster ran with
-    tracing enabled — on an untraced run it has nothing to audit.
+    tracing enabled — on an untraced run it has nothing to audit.  The
+    durability checkers likewise only run on durable-WAL clusters.
     """
     results = [
         check_durable_commits(cluster),
@@ -359,6 +447,9 @@ def check_all_invariants(
         check_rejoin_convergence(cluster),
         check_quorum_durability(cluster),
     ]
+    if getattr(cluster, "durability_active", False):
+        results.append(check_durable_prefix(cluster))
+        results.append(check_no_ghost_commits(cluster))
     tracer = getattr(cluster, "tracer", None)
     if tracer is not None and tracer.enabled:
         results.append(check_trace_hygiene(cluster))

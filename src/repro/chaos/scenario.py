@@ -19,12 +19,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.chaos.faults import (
+    BitFlip,
     CrashNode,
     FaultPlan,
+    FsyncLie,
     LinkFault,
     Partition,
     ReintegrateNode,
+    RestartNode,
     Slowdown,
+    TornWrite,
 )
 from repro.chaos.invariants import InvariantResult, check_all_invariants
 from repro.common.counters import Counters
@@ -49,6 +53,14 @@ CHAOS_COUNTERS = (
     "slave.replay_write_sets",
     "slave.forced_drains",
     "sched.shed_requests",
+    "wal.records",
+    "wal.replayed",
+    "wal.torn_tail_records",
+    "wal.ghost_records_skipped",
+    "wal.ghost_ops_discarded",
+    "checkpoint.corrupt_pages",
+    "checkpoint.fallback_pages",
+    "disk.restart_recoveries",
 )
 
 
@@ -152,6 +164,46 @@ def straggler_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
     )
 
 
+def durability_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """Storage-fault soak: every durable failure mode plus a master crash.
+
+    Requires a cluster built with ``CostConfig(durable_wal=True)`` — every
+    crashed node restarts from its *own* disk (checkpoint + WAL redo + gap
+    replay) rather than via full peer migration:
+
+    * mild fabric loss/duplication throughout (cleared at 75 %);
+    * ``s1`` crashes with a torn last WAL record — restart must truncate
+      the tail at the first bad checksum;
+    * ``s2`` crashes inside an fsync-lie window — records it believed
+      synced were never durable and are lost;
+    * ``s0`` crashes carrying a latent bit flip in both its WAL and its
+      checkpoint — restart must skip the bad record and fall back to the
+      previous good page generation;
+    * the master crashes last (election + promotion), then restarts from
+      disk as a slave, exercising the ghost filter: its WAL durably holds
+      pre-commits that were never acknowledged.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=t(0.75)),
+            TornWrite(at=t(0.08), node_id="s1"),
+            CrashNode(at=t(0.12), node_id="s1"),
+            RestartNode(at=t(0.28), node_id="s1"),
+            FsyncLie(at=t(0.15), node_id="s2", until=t(0.45)),
+            CrashNode(at=t(0.35), node_id="s2"),
+            RestartNode(at=t(0.5), node_id="s2"),
+            BitFlip(at=t(0.4), node_id="s0", target="wal"),
+            BitFlip(at=t(0.42), node_id="s0", target="checkpoint"),
+            CrashNode(at=t(0.48), node_id="s0"),
+            RestartNode(at=t(0.6), node_id="s0"),
+            CrashNode(at=t(0.66), node_id="m0"),
+            RestartNode(at=t(0.8), node_id="m0"),
+        ),
+    )
+
+
 def run_chaos_scenario(
     seed: int = 0,
     plan: Optional[FaultPlan] = None,
@@ -167,6 +219,7 @@ def run_chaos_scenario(
     ack_policy: str = "all",
     quorum_k: int = 1,
     cost_config=None,
+    checkpoint_period: float = 0.0,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
@@ -194,6 +247,7 @@ def run_chaos_scenario(
         trace=trace,
         ack_policy=ack_policy,
         quorum_k=quorum_k,
+        checkpoint_period=checkpoint_period,
     )
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()

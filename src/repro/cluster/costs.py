@@ -107,6 +107,16 @@ class CostConfig:
     #: Disk I/Os charged per page *written* on the on-disk tier (dirty-page
     #: write-back competing with reads for the spindle).
     disk_writeback_factor: float = 1.0
+    # -- durability (in-memory tier) --------------------------------------------------------------
+    #: When True every in-memory node appends write-sets to a local
+    #: content-carrying WAL and forces it before acking, enabling
+    #: restart-from-own-disk recovery and the storage-fault model.  Off by
+    #: default: the durable path moves extra counters and sim events, so
+    #: legacy seeded fingerprints require it disabled.
+    durable_wal: bool = False
+    #: Service time of one WAL group force on the in-memory tier
+    #: (battery-backed/NVMe log device, not the cold-tier spindle model).
+    wal_fsync_time: float = 0.0005
 
     def net_delay(self, nbytes: int) -> float:
         return self.net_latency + nbytes / self.net_bandwidth

@@ -15,6 +15,7 @@ from repro.chaos.network import NetworkModel
 from repro.common.counters import Counters
 from repro.common.errors import NodeUnavailable, TransactionAborted
 from repro.common.rng import RngStream
+from repro.common.versions import VersionVector
 from repro.cluster.costs import CostConfig, CostModel
 from repro.cluster.simnodes import DiskDbNode, InMemoryDbNode, SimNode
 from repro.cluster.straggler import LaggardDetector
@@ -23,10 +24,16 @@ from repro.engine.schema import TableSchema
 from repro.failover.recovery import (
     cleanup_after_master_failure,
     elect_new_master,
+    ghost_wal_records,
     promote_slave_to_master,
 )
-from repro.failover.reintegration import integrate_stale_node, restore_from_checkpoint
+from repro.failover.reintegration import (
+    integrate_stale_node,
+    recover_from_local_disk,
+    restore_from_checkpoint,
+)
 from repro.obs import NULL_SPAN, Tracer
+from repro.storage.page import Page
 from repro.scheduler.conflictaware import ConflictAwareScheduler
 from repro.scheduler.versionaware import VersionAwareScheduler
 from repro.sim.kernel import Simulator
@@ -359,12 +366,16 @@ class ReplicationChannel:
                     demoted_alive = (
                         target.alive and cluster.is_demoted(target.node_id)
                     )
+                    restartable_dead = (
+                        cluster.durability_active and not target.alive
+                    )
                     for pending in batch:
                         counters.add("net.write_sets_sent")
-                        if demoted_alive:
-                            # Enqueued before the demotion: the broadcast
-                            # site never logged it, so retain it here or
-                            # the rejoin gap replay would miss it.
+                        if demoted_alive or restartable_dead:
+                            # Enqueued before the demotion (or crash): the
+                            # broadcast site never logged it, so retain it
+                            # here or the rejoin/restart gap replay would
+                            # miss it.
                             cluster._replay_log[
                                 pending.write_set.dedup_key()
                             ] = pending.write_set
@@ -410,6 +421,11 @@ class ReplicationChannel:
                         break
                     outcome = target.deliver_write_set(pending.write_set)
                     if outcome == "dead":
+                        if cluster.durability_active and not target.alive:
+                            # Crashed mid-batch: retain for restart gap replay.
+                            cluster._replay_log[
+                                pending.write_set.dedup_key()
+                            ] = pending.write_set
                         self._drop(pending, counters)
                         self._finish(pending, False)
                         continue
@@ -620,7 +636,7 @@ class SimDmvCluster:
         for master_id in master_ids:
             master = InMemoryDbNode(
                 self.sim, master_id, self.cost, self.schemas, cache_pages, rows_per_page,
-                tracer=self.tracer,
+                tracer=self.tracer, durable=self.cost.config.durable_wal,
             )
             if multi_master and len(master_ids) > 1:
                 master.make_dual_master(
@@ -679,6 +695,21 @@ class SimDmvCluster:
         #: Largest write-set (ops) ever broadcast — the slack the buffer
         #: bound invariant allows above the configured cap.
         self._max_ws_ops = 0
+        #: Durable-WAL mode state.  The storage RNG child is created only
+        #: when the mode is on: ``RngStream.child`` consumes a parent draw,
+        #: so an unconditional child would shift every later stream (the
+        #: browsers') and break legacy seeded fingerprints.
+        self.storage_rng = self.rng.child("storage") if self.durability_active else None
+        #: (dedup_key, master_id, txn_id) of WAL records that were above the
+        #: confirmed vector when their node crashed — ghost candidates for
+        #: the no-ghost-commits invariant.
+        self._ghosts: List[Tuple[Tuple, str, int]] = []
+        #: Confirmed version vector snapshotted at each durable crash,
+        #: consumed by the restart path and the durable-prefix invariant.
+        self._crash_confirmed: Dict[str, VersionVector] = {}
+        #: (node_id, crash_time, confirmed-at-crash dict) per completed
+        #: restart-from-own-disk recovery.
+        self._restart_audits: List[Tuple[str, float, Dict[str, int]]] = []
         self.sim.spawn(self._failure_detector(), name="failure-detector")
         if self.straggler_active:
             self.sim.spawn(self._laggard_monitor(), name="laggard-monitor")
@@ -773,7 +804,7 @@ class SimDmvCluster:
     def _add_slave(self, node_id: str, cache_pages: int, spare: bool) -> InMemoryDbNode:
         node = InMemoryDbNode(
             self.sim, node_id, self.cost, self.schemas, cache_pages, self.rows_per_page,
-            tracer=self.tracer,
+            tracer=self.tracer, durable=self.cost.config.durable_wal,
         )
         node.make_slave()
         self.nodes[node_id] = node
@@ -901,6 +932,11 @@ class SimDmvCluster:
     def straggler_active(self) -> bool:
         """True when laggard demotion machinery may act (non-``all`` policy)."""
         return self.ack_policy != "all"
+
+    @property
+    def durability_active(self) -> bool:
+        """True when nodes keep durable WALs (restart-from-own-disk mode)."""
+        return self.cost.config.durable_wal
 
     def is_demoted(self, node_id: str) -> bool:
         return node_id in self._demoted
@@ -1078,7 +1114,13 @@ class SimDmvCluster:
                     if pre.recording:
                         txn.obs_span = root
                 if write_set is not None:
-                    yield self.sim.timeout(self.cost.precommit_cpu(len(write_set.ops)))
+                    # Durable mode: the pre-commit record is on the master's
+                    # own log before any ack can exist (write-ahead rule).
+                    node.log_write_set(write_set)
+                    service = self.cost.precommit_cpu(len(write_set.ops))
+                    if node.durable:
+                        service += cfg.wal_fsync_time
+                    yield self.sim.timeout(service)
             finally:
                 node.cpu.release()
                 if write_set is not None:
@@ -1086,13 +1128,16 @@ class SimDmvCluster:
                 else:
                     pre.finish(status="read-only")
             if write_set is not None:
-                if self.straggler_active:
-                    if self._demoted:
-                        # Demoted nodes miss this broadcast entirely;
-                        # retain it for gap replay at their rejoin.
-                        self._replay_log[write_set.dedup_key()] = write_set
-                    elif self._replay_log:
-                        self._replay_log.clear()
+                retain = (self.straggler_active and self._demoted) or (
+                    self.durability_active and self._any_node_down()
+                )
+                if retain:
+                    # Demoted (or crashed-but-restartable) nodes miss this
+                    # broadcast entirely; retain it for gap replay at their
+                    # rejoin/restart.
+                    self._replay_log[write_set.dedup_key()] = write_set
+                elif self._replay_log:
+                    self._replay_log.clear()
                 acks = [
                     self._channel(node.node_id, target).send(write_set, parent_span=root)
                     for target in self.nodes.values()
@@ -1187,11 +1232,76 @@ class SimDmvCluster:
     # -- failure injection & detection ---------------------------------------------------------
     def kill_node(self, node_id: str) -> None:
         node = self.nodes[node_id]
+        was_alive = node.alive
         node.failed_at = self.sim.now()
         node.fail()
+        if was_alive and self.durability_active and getattr(node, "durable", False):
+            self._record_crash_state(node)
 
     def kill_node_at(self, node_id: str, when: float) -> None:
         self.sim.schedule(max(0.0, when - self.sim.now()), self.kill_node, node_id)
+
+    def _any_node_down(self) -> bool:
+        return any(not node.alive for node in self.nodes.values())
+
+    def _confirmed_vector(self) -> VersionVector:
+        """The cluster-confirmed per-table versions (scheduler's view)."""
+        try:
+            return self.scheduler.latest.copy()
+        except NodeUnavailable:
+            vector = VersionVector()
+            for _master, _txn, versions in self.commit_log:
+                for table, version in versions.items():
+                    if version > vector.get(table):
+                        vector.set(table, version)
+            return vector
+
+    def _record_crash_state(self, node: InMemoryDbNode) -> None:
+        """Durable crash semantics: apply the WAL loss model, register ghosts.
+
+        Snapshot the confirmed vector (the durable-prefix obligation for a
+        later restart), lose the un-durable WAL tail (fsync-lie mode widens
+        it past the believed-synced boundary), and record every WAL record
+        above the confirmed vector — lost or surviving — as a ghost
+        candidate: if its commit never confirms, nothing recovered from
+        this disk may resurface it.
+        """
+        confirmed = self._confirmed_vector()
+        self._crash_confirmed[node.node_id] = confirmed.copy()
+        lost = node.crash_durable_state()
+        # A torn record appears both in the lost tail and on disk; dedup by
+        # LSN before classification.
+        candidates = {r.lsn: r for r in list(lost) + node.wal.records_since(0)}
+        for record in ghost_wal_records(candidates.values(), confirmed):
+            self._ghosts.append((record.dedup_key(), record.master_id, record.txn_id))
+
+    # -- storage-fault hooks (chaos events) ----------------------------------------------------
+    def arm_torn_write(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None and getattr(node, "durable", False):
+            node.wal.arm_torn_write()
+
+    def set_fsync_lie(self, node_id: str, lying: bool) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None and getattr(node, "durable", False):
+            node.wal.set_fsync_lies(lying)
+
+    def inject_bitflip(self, node_id: str, target: str = "wal") -> None:
+        """Flip a bit in one durable record/page, chosen by the storage RNG."""
+        node = self.nodes.get(node_id)
+        if node is None or not getattr(node, "durable", False) or self.storage_rng is None:
+            return
+        if target == "checkpoint":
+            page_ids = sorted(node.stable.version_map())
+            if not page_ids:
+                return
+            victim = page_ids[self.storage_rng.randint(0, len(page_ids) - 1)]
+            if node.stable.corrupt_page(victim):
+                node.counters.add("checkpoint.bitflips")
+        else:
+            if len(node.wal) == 0:
+                return
+            node.wal.corrupt_record(self.storage_rng.randint(0, len(node.wal) - 1))
 
     def suspect_node(self, node_id: str) -> None:
         """Fail-stop suspicion: the retransmission budget for ``node_id``
@@ -1297,7 +1407,7 @@ class SimDmvCluster:
             dropped = cleanup_after_master_failure(
                 [n.slave for n in survivors if n.subscribed], cleanup_vector
             )
-            if self.straggler_active and self._replay_log:
+            if (self.straggler_active or self.durability_active) and self._replay_log:
                 # The gap-replay log must not resurrect write-sets the
                 # cleanup just discarded cluster-wide (unconfirmed commits
                 # of the failed master).
@@ -1416,8 +1526,15 @@ class SimDmvCluster:
         state = self.scheduler.slaves.get(node_id)
         return bool(state and state.spare)
 
-    def _timed_migration(self, node: InMemoryDbNode, timeline: FailoverTimeline):
-        """Version-aware page transfer into ``node`` with time charged."""
+    def _timed_migration(
+        self, node: InMemoryDbNode, timeline: FailoverTimeline, wanted=None
+    ):
+        """Version-aware page transfer into ``node`` with time charged.
+
+        ``wanted`` overrides the page versions the joiner advertises to its
+        support (see :func:`integrate_stale_node`) — the restart-from-disk
+        path passes WAL-coverage versions so only the downtime gap moves.
+        """
         cfg = self.cost.config
         candidates = [
             n
@@ -1466,9 +1583,10 @@ class SimDmvCluster:
         node.slave.catching_up = True
         replay_ops = 0
         replay_bytes = 0
-        if self.straggler_active and self._replay_log:
+        if (self.straggler_active or self.durability_active) and self._replay_log:
             # Gap replay: write-sets broadcast while this node was demoted
-            # never entered its channel, and the support may not hold them
+            # (or down, under durable restart) never entered its channel,
+            # and the support may not hold them
             # all either (under quorum acks a commit confirms before every
             # slave has its data).  Re-deliver them in stream order; the
             # duplicate filter skips what the node already has, and any op
@@ -1523,7 +1641,7 @@ class SimDmvCluster:
                 node.counters.add("net.write_sets_sent")
                 replica.receive(write_set)
                 self.counters.add("slave.inflight_replayed")
-        stats = integrate_stale_node(node.slave, support_node.slave)
+        stats = integrate_stale_node(node.slave, support_node.slave, wanted=wanted)
         work = stats.pages_sent + stats.ops_index_applied + replay_ops
         yield support_node.job(self._migration_cpu(support_node, work), "migrate-src")
         # Only the page images and replayed gap ops cross the wire here;
@@ -1587,12 +1705,122 @@ class SimDmvCluster:
         finally:
             node.cpu.release()
 
+    # -- restart from own disk (durable-WAL recovery) ---------------------------------------------
+    def restart_node(self, node_id: str):
+        """Spawn restart-from-own-disk recovery; returns the process."""
+        return self.sim.spawn(self._restart_from_disk(node_id), name="restart")
+
+    def restart_node_at(self, node_id: str, when: float) -> None:
+        self.sim.schedule(max(0.0, when - self.sim.now()), self.restart_node, node_id)
+
+    def _restart_from_disk(self, node_id: str):
+        """Restart a crashed node from its own checkpoint + WAL suffix.
+
+        Contrast with :meth:`_reintegrate`: the checkpoint restore is
+        followed by a redo of the fsynced WAL suffix (torn tail truncated
+        at the first bad checksum, ghosts filtered against the scheduler's
+        confirmed history), so the subsequent migration only moves the
+        pages this node actually missed while down — gap replay plus a far
+        smaller page transfer instead of every page modified since the
+        last checkpoint.
+        """
+        node = self.nodes[node_id]
+        if node.alive:
+            return None  # raced with reintegrate / double restart
+        if not node.durable:
+            # Without a durable WAL the local state cannot be trusted past
+            # the checkpoint; fall back to the classic reboot path.
+            result = yield from self._reintegrate(node_id, None, False)
+            return result
+        crash_time = node.failed_at or self.sim.now()
+        crash_confirmed = self._crash_confirmed.pop(node_id, None)
+        timeline = FailoverTimeline(
+            failure_time=crash_time, detection_time=self.sim.now()
+        )
+        node.restart_resources()
+        node.slowdown = 1.0
+        node.make_slave()
+        # Subscription starts with the migration phase, not here: local
+        # redo must finish (and unconfirmed records be discarded) before
+        # live broadcasts may buffer on this replica.
+        node.subscribed = False
+        stale_span = self._demoted.pop(node_id, None)
+        if stale_span is not None:
+            stale_span.finish(status="crashed")
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.set_demoted(node_id, False)
+        self._handled_failures.discard(node_id)
+        self._missed.pop(node_id, None)
+        # Local phase: checksum-validated checkpoint restore (previous-
+        # generation fallback per page) + WAL scan with torn-tail
+        # truncation + redo of the confirmed suffix into catch-up buffers.
+        confirmed_ids = {(m, t) for m, t, _versions in self.commit_log}
+        recovery = recover_from_local_disk(
+            node.slave,
+            node.stable,
+            node.wal,
+            is_confirmed=lambda record: (record.master_id, record.txn_id)
+            in confirmed_ids,
+        )
+        node.cache.invalidate_all()
+        yield self.sim.timeout(
+            self.cost.sequential_disk(recovery.checkpoint_bytes + recovery.wal_bytes)
+        )
+        if recovery.ops_buffered:
+            yield node.job(self._migration_cpu(node, recovery.ops_buffered), "wal-redo")
+        # Belt and braces: nothing above the cluster-confirmed vector may
+        # survive the restart (the ghost filter above already skipped
+        # unconfirmed records; this enforces the invariant structurally).
+        ghost_ops = node.slave.discard_above(self._confirmed_vector())
+        if ghost_ops:
+            node.counters.add("wal.ghost_ops_discarded", ghost_ops)
+        # A checkpoint page *above* the crash-time confirmed vector may
+        # hold content that was applied but never acknowledged — and after
+        # a failover those version numbers can belong to different
+        # transactions, so a version comparison against the support would
+        # wrongly skip the page.  Drop such pages; migration re-fetches.
+        if crash_confirmed is not None:
+            store = node.slave.engine.store
+            for page in store.all_pages():
+                if page.version > crash_confirmed.get(page.page_id.table):
+                    page.load_from(Page(page.page_id, page.capacity))
+                    queue = node.slave.pending.pop(page.page_id, None)
+                    if queue:
+                        node.slave.pending_ops -= len(queue)
+                    node.counters.add("wal.suspect_pages_dropped")
+        # Advertise WAL coverage (applied pages + contiguous redo buffers)
+        # so the support ships only the pages touched while this node was
+        # down — the gap, not everything since the last checkpoint.
+        wanted = node.slave.page_versions()
+        timeline.recovery_done = self.sim.now()
+        yield from self._timed_migration(node, timeline, wanted=wanted)
+        timeline.migration_done = self.sim.now()
+        self.timelines.append(timeline)
+        node.counters.add("disk.restart_recoveries")
+        self._restart_audits.append(
+            (
+                node_id,
+                crash_time,
+                dict(crash_confirmed.items()) if crash_confirmed is not None else {},
+            )
+        )
+        for agent in self._alive_scheduler_agents():
+            agent.scheduler.add_slave(node_id, spare=False)
+        self._wake_update_waiters()
+        return timeline
+
     # -- background daemons -------------------------------------------------------------------------
     def _checkpoint_daemon(self, period: float):
         while True:
             yield self.sim.timeout(period)
             for node in self.nodes.values():
-                if node.alive and node.slave is not None:
+                has_role = node.slave is not None or (
+                    # Durable mode checkpoints masters too: their WALs hold
+                    # their own pre-commit records and need the checkpoint
+                    # floor to advance for truncation.
+                    self.durability_active and node.master is not None
+                )
+                if node.alive and has_role:
                     node.checkpoint()
 
     def _pageid_shipper(self, period: float):

@@ -23,6 +23,7 @@ from repro.core.master import MasterReplica
 from repro.core.slave import SlaveReplica
 from repro.core.writeset import WriteSet
 from repro.disk.database import DiskDatabase
+from repro.disk.wal import WriteAheadLog
 from repro.engine.engine import HeapEngine, LockWait, make_update_controller
 from repro.engine.schema import TableSchema
 from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
@@ -90,6 +91,7 @@ class InMemoryDbNode(SimNode):
         cache_pages: int = 1 << 30,
         rows_per_page: int = 64,
         tracer: Tracer = NULL_TRACER,
+        durable: bool = False,
     ) -> None:
         super().__init__(sim, node_id, cost)
         self.tracer = tracer
@@ -106,6 +108,13 @@ class InMemoryDbNode(SimNode):
         self.slave: Optional[SlaveReplica] = None
         self.stable = StableStore(self.counters)
         self.checkpointer = FuzzyCheckpointer(self.engine.store, self.stable)
+        #: Durable-WAL mode: write-sets this node broadcasts or receives are
+        #: appended to a local content-carrying redo log and forced before
+        #: the ack, enabling restart-from-own-disk recovery.  The log object
+        #: always exists (it moves no counters until used) so fault hooks
+        #: and recovery helpers need no None checks.
+        self.durable = durable
+        self.wal = WriteAheadLog(self.counters, tracer=tracer)
         #: Subscribed nodes receive the masters' write-set broadcasts; a
         #: *stale backup* (Figure 5) is deliberately unsubscribed.
         self.subscribed = True
@@ -215,11 +224,39 @@ class InMemoryDbNode(SimNode):
             self.counters.add("net.dups_ignored")
             return "dup"
         self.slave.receive(write_set)
+        self.log_write_set(write_set)
         return "ok"
+
+    def log_write_set(self, write_set: WriteSet) -> None:
+        """Durable mode: append one write-set to the local WAL and force it.
+
+        No-op unless the node is durable — the legacy tier must move no
+        WAL counters.  Dup-filtered deliveries never reach this point, so
+        each write-set is logged at most once per node.
+        """
+        if not self.durable:
+            return
+        self.wal.append_commit(
+            write_set.txn_id,
+            write_set.ops,
+            versions=write_set.versions,
+            master_id=write_set.master_id,
+            seq=write_set.seq,
+        )
+        self.wal.fsync()
+
+    def crash_durable_state(self) -> list:
+        """Apply the WAL crash loss model; returns the lost records."""
+        if not self.durable:
+            return []
+        return self.wal.crash()
 
     def receive_cost(self, op_count: int):
         """The replication thread's CPU charge for one received write-set."""
-        yield self.sim.timeout(self.cost.receive_cpu(op_count) * self.slowdown)
+        service = self.cost.receive_cpu(op_count) * self.slowdown
+        if self.durable:
+            service += self.cost.config.wal_fsync_time
+        yield self.sim.timeout(service)
 
     def apply_cost(self, op_count: int):
         """CPU charge for eagerly applying buffered ops (forced drain)."""
@@ -235,7 +272,7 @@ class InMemoryDbNode(SimNode):
         stall behind the slowest slave's longest-running query.)
         """
         self.deliver_write_set(write_set)
-        yield self.sim.timeout(self.cost.receive_cpu(len(write_set.ops)) * self.slowdown)
+        yield from self.receive_cost(len(write_set.ops))
 
     def touch_pages_job(self, page_ids):
         """Page-id warm-up: touch shipped pages (fault them in)."""
@@ -260,7 +297,26 @@ class InMemoryDbNode(SimNode):
         with self.tracer.span("flush", node=self.node_id, kind="checkpoint") as span:
             pages = self.checkpointer.full_checkpoint(self.engine.page_is_dirty)
             span.annotate(pages=pages)
+        if self.durable and len(self.wal):
+            self.wal.truncate_for_checkpoint(self.checkpoint_floor())
         return pages
+
+    def checkpoint_floor(self) -> Dict[str, int]:
+        """Per-table version the checkpoint provably covers for every page.
+
+        A WAL record at ``{table: v}`` is redundant only if *every* page it
+        might touch is checkpointed at >= v, so the floor is the minimum
+        image version per table — and 0 (covering nothing) for any table
+        with a live page that has no checkpoint image at all.
+        """
+        floor: Dict[str, int] = {}
+        for page_id, version in self.stable.version_map().items():
+            current = floor.get(page_id.table)
+            floor[page_id.table] = version if current is None else min(current, version)
+        for page in self.engine.store.all_pages():
+            if self.stable.load(page.page_id) is None:
+                floor[page.page_id.table] = 0
+        return floor
 
     def warm_fraction(self) -> float:
         resident = self.cache.resident_count()

@@ -25,6 +25,15 @@ class SqlError(ReproError):
     """A SQL statement could not be lexed, parsed or planned."""
 
 
+class CorruptCheckpoint(SchemaError):
+    """A checkpoint page or file failed its checksum validation.
+
+    Subclasses :class:`SchemaError` so existing "corrupt checkpoint"
+    handlers keep working; recovery paths catch this type specifically to
+    fall back to the previous good checkpoint generation.
+    """
+
+
 class TransactionAborted(ReproError):
     """A transaction was rolled back and its effects discarded.
 

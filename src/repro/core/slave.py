@@ -144,6 +144,40 @@ class SlaveReplica:
         self.counters.add("slave.write_sets_received")
         self.counters.add("slave.ops_buffered", len(write_set.ops))
 
+    def restore_write_set(self, write_set: WriteSet) -> int:
+        """WAL-redo receive (restart-from-own-disk path); returns ops buffered.
+
+        Differs from :meth:`receive` in two deliberate ways.  First, no
+        replication counters move: this write-set was already counted when
+        it was delivered over the wire before the crash, so counting it
+        again would break the send/receive conservation invariant.  Second,
+        coverage is judged per *op*, not per write-set: the restored
+        checkpoint may hold some of a record's pages at a version past the
+        record (their later redo records were truncated as covered), so
+        replaying a covered op would regress slots to stale values.  The
+        dedup identity is always recorded and the watermark always merged —
+        the durable state covers the record either way.
+        """
+        key = write_set.dedup_key()
+        self._seen_write_sets.add(key)
+        store = self.engine.store
+        buffered = 0
+        for op in write_set.ops:
+            version = write_set.versions[op.page_id.table]
+            page = store.get_or_allocate(op.page_id)
+            if version <= page.version:
+                continue  # checkpoint image already contains this op
+            queue = self.pending.get(op.page_id)
+            if queue is None:
+                queue = self.pending[op.page_id] = deque()
+            queue.append((version, op))
+            buffered += 1
+            if not self.catching_up:
+                self.engine.table(op.page_id.table).index_apply_committed(op, version)
+        self.received_versions.merge(VersionVector(write_set.versions))
+        self.pending_ops += buffered
+        return buffered
+
     # -- lazy materialisation ----------------------------------------------------------
     #
     # Index entries are maintained eagerly at receive time, so the *only*
@@ -333,9 +367,12 @@ class SlaveReplica:
             # Undo the eager index maintenance in reverse receive order:
             # an insert-then-delete of the same key (one transaction's
             # write-set) must unmark the delete while the entry still
-            # exists, then remove the entry the insert created.
-            for version, op in reversed(dropped):
-                self._revert_index_entries(op, version)
+            # exists, then remove the entry the insert created.  A
+            # catching-up replica skipped the eager maintenance, so there
+            # is nothing to revert (finish_catchup rebuilds from pages).
+            if not self.catching_up:
+                for version, op in reversed(dropped):
+                    self._revert_index_entries(op, version)
             discarded += len(dropped)
             if keep:
                 self.pending[page_id] = keep

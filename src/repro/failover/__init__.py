@@ -13,17 +13,27 @@
 from repro.failover.recovery import (
     cleanup_after_master_failure,
     elect_new_master,
+    ghost_wal_records,
     promote_slave_to_master,
 )
-from repro.failover.reintegration import MigrationStats, integrate_stale_node, restore_from_checkpoint
+from repro.failover.reintegration import (
+    LocalRecovery,
+    MigrationStats,
+    integrate_stale_node,
+    recover_from_local_disk,
+    restore_from_checkpoint,
+)
 from repro.failover.warmup import ship_page_ids
 
 __all__ = [
     "cleanup_after_master_failure",
     "promote_slave_to_master",
     "elect_new_master",
+    "ghost_wal_records",
     "integrate_stale_node",
+    "recover_from_local_disk",
     "restore_from_checkpoint",
+    "LocalRecovery",
     "MigrationStats",
     "ship_page_ids",
 ]

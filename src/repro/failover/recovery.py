@@ -17,7 +17,7 @@ pre-commit broadcast.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import NodeUnavailable
 from repro.common.versions import VersionVector
@@ -31,6 +31,30 @@ def cleanup_after_master_failure(
 ) -> int:
     """Step 1: discard unacknowledged write-sets everywhere; returns ops dropped."""
     return sum(slave.discard_above(confirmed) for slave in slaves)
+
+
+def ghost_wal_records(
+    records: Iterable, confirmed: VersionVector
+) -> List:
+    """Classify a crashed node's WAL records as potential ghosts.
+
+    A record above the cluster-confirmed vector at crash time is durable
+    on this node's disk (or was believed to be) without its transaction
+    having been acknowledged to any client.  If the commit never confirms,
+    nothing derived from this disk may resurface it — the restart redo
+    must skip it and no replay path may resurrect it.  Records whose
+    versions are all covered by ``confirmed`` are, by construction,
+    acknowledged history and never ghosts.
+    """
+    ghosts = []
+    for record in records:
+        versions = getattr(record, "versions", ())
+        if not versions:
+            continue
+        if all(v <= confirmed.get(t) for t, v in versions):
+            continue
+        ghosts.append(record)
+    return ghosts
 
 
 def _candidate_freshness(slave: SlaveReplica) -> int:

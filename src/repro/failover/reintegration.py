@@ -18,10 +18,12 @@ Flow (mirrors the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.versions import VersionVector
 from repro.core.slave import SlaveReplica
+from repro.core.writeset import WriteSet
+from repro.disk.wal import WalRecord, WriteAheadLog
 from repro.storage.checkpoint import StableStore
 from repro.storage.ops import ops_size
 
@@ -46,18 +48,25 @@ class MigrationStats:
 
 
 def integrate_stale_node(
-    joiner: SlaveReplica, support: SlaveReplica
+    joiner: SlaveReplica, support: SlaveReplica, wanted=None
 ) -> MigrationStats:
     """Steps 3-4: page transfer from ``support`` into ``joiner``.
 
     ``joiner`` must already be subscribed in catch-up mode (so every
     write-set committed after its version map was taken is buffered).
+
+    ``wanted`` overrides the per-page versions the joiner advertises.  By
+    default it advertises its *applied* page versions (checkpoint image),
+    not its buffered-op headroom: ops buffered since subscription cannot
+    be applied onto a base that is missing earlier modifications.  The
+    restart-from-own-disk path passes headroom-inclusive versions instead
+    — its WAL-redo buffers are provably contiguous with the checkpoint
+    base (redo is scanned in LSN order and truncated at the first hole),
+    so only the pages touched while the node was down need to move.
     """
     stats = MigrationStats()
-    # The joiner advertises its *applied* page versions (checkpoint image),
-    # not its buffered-op headroom: ops buffered since subscription cannot
-    # be applied onto a base that is missing earlier modifications.
-    wanted = joiner.engine.store.version_map()
+    if wanted is None:
+        wanted = joiner.engine.store.version_map()
     pending_before = joiner.pending_op_count()
     images = support.snapshot_pages_newer_than(wanted)
     for image in images:
@@ -88,3 +97,78 @@ def restore_from_checkpoint(slave: SlaveReplica, stable: StableStore) -> int:
     restored = stable.restore_into(slave.engine.store)
     slave.catching_up = True
     return restored
+
+
+@dataclass
+class LocalRecovery:
+    """What a restart-from-own-disk recovery read and replayed."""
+
+    pages_restored: int = 0
+    checkpoint_bytes: int = 0
+    corrupt_pages: int = 0
+    records_scanned: int = 0
+    records_replayed: int = 0
+    ghost_records_skipped: int = 0
+    torn_tail_records: int = 0
+    ops_buffered: int = 0
+    wal_bytes: int = 0
+
+
+def recover_from_local_disk(
+    slave: SlaveReplica,
+    stable: StableStore,
+    wal: WriteAheadLog,
+    is_confirmed: Optional[Callable[[WalRecord], bool]] = None,
+) -> LocalRecovery:
+    """Restart path: rebuild from the node's own checkpoint + WAL suffix.
+
+    The in-memory state is gone; the node restores the checksummed
+    checkpoint (falling back to the previous generation per page), scans
+    the WAL truncating the torn tail at the first bad checksum, and redoes
+    the surviving suffix into the catch-up buffers.  ``is_confirmed``
+    filters records against the cluster's confirmed-commit history (the
+    scheduler's recovery handshake): a locally durable pre-commit whose
+    transaction never confirmed cluster-wide is a ghost — after a failover
+    its version numbers may have been reassigned to different transactions,
+    so replaying it would resurrect discarded data under live versions.
+
+    The slave is left in catch-up mode; the caller follows with gap replay
+    / data migration for the commits missed while down.
+    """
+    out = LocalRecovery()
+    slave.engine.store.clear()
+    slave.pending.clear()
+    slave.pending_ops = 0
+    slave.received_versions = VersionVector()
+    # The dedup identity set died with the process.  Rebuilding it from
+    # the replayed records only (below) is load-bearing: a stale entry
+    # for a *ghost* identity would make the real commit that later
+    # reuses those version numbers look like a duplicate.
+    slave._seen_write_sets.clear()
+    slave.catching_up = True
+    out.pages_restored, out.checkpoint_bytes, out.corrupt_pages = stable.recover_into(
+        slave.engine.store
+    )
+    records, out.torn_tail_records = wal.recover_records()
+    out.records_scanned = len(records) + out.torn_tail_records
+    for record in records:
+        out.wal_bytes += record.nbytes
+        if not record.ops or not record.versions:
+            continue  # size-only record (disk tier) carries no redo content
+        if is_confirmed is not None and not is_confirmed(record):
+            out.ghost_records_skipped += 1
+            slave.counters.add("wal.ghost_records_skipped")
+            continue
+        write_set = WriteSet(
+            record.master_id,
+            record.txn_id,
+            record.ops,
+            dict(record.versions),
+            seq=record.seq,
+        )
+        out.ops_buffered += slave.restore_write_set(write_set)
+        out.records_replayed += 1
+        slave.counters.add("wal.replayed")
+    if out.ops_buffered:
+        slave.counters.add("wal.replayed_ops", out.ops_buffered)
+    return out

@@ -11,19 +11,34 @@ than its checkpointed versions.
 ``StableStore`` stands in for the node's local disk: it survives the loss
 of the node's in-memory state (our failure injection wipes the
 :class:`~repro.storage.page.PageStore` but keeps the stable store).
+
+Durability hardening: every image carries a CRC32 checksum, and the store
+keeps the *previous* good image of each page as a fallback generation.
+:meth:`StableStore.recover_into` validates checksums on the restart path
+and falls back to the previous generation when the current image is
+corrupt; file persistence (:meth:`save_to`) publishes atomically via
+rename and retains the prior file at ``<path>.prev`` so
+:meth:`load_from` can fall back to the last good generation instead of
+aborting recovery.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.counters import Counters
-from repro.common.errors import SchemaError
+from repro.common.errors import CorruptCheckpoint
 from repro.common.ids import PageId
 from repro.storage.page import Page, PageStore
+
+
+def _page_checksum(page: Page) -> int:
+    payload = repr((str(page.page_id), page.version, tuple(page.slots)))
+    return zlib.crc32(payload.encode("utf-8")) or 1
 
 
 @dataclass
@@ -33,6 +48,13 @@ class PageImage:
     page_id: PageId
     version: int
     page: Page  # snapshot, never aliased with the live page
+    checksum: int = 0  # 0 = unchecked (legacy image); else CRC32 of content
+
+    def verify(self) -> bool:
+        """True if the image content matches its checksum (0 = always)."""
+        if self.checksum == 0:
+            return True
+        return self.checksum == _page_checksum(self.page)
 
 
 class StableStore:
@@ -40,13 +62,24 @@ class StableStore:
 
     def __init__(self, counters: Optional[Counters] = None) -> None:
         self._images: Dict[PageId, PageImage] = {}
+        self._previous: Dict[PageId, PageImage] = {}  # last good generation
         self.counters = counters if counters is not None else Counters()
         self.flushes = 0
 
     def flush_page(self, page: Page) -> None:
-        """Atomically persist one page image with its current version."""
+        """Atomically persist one page image with its current version.
+
+        The image it replaces is retained as the page's previous
+        generation, the fallback when the current image is later found
+        corrupt on the recovery path.
+        """
         snapshot = page.snapshot()
-        self._images[page.page_id] = PageImage(page.page_id, snapshot.version, snapshot)
+        current = self._images.get(page.page_id)
+        if current is not None:
+            self._previous[page.page_id] = current
+        self._images[page.page_id] = PageImage(
+            page.page_id, snapshot.version, snapshot, _page_checksum(snapshot)
+        )
         self.flushes += 1
         self.counters.add("checkpoint.pages_flushed")
         self.counters.add("checkpoint.bytes", snapshot.byte_size())
@@ -58,6 +91,18 @@ class StableStore:
         """Per-page checkpointed versions — the recovery handshake payload."""
         return {pid: image.version for pid, image in self._images.items()}
 
+    def corrupt_page(self, page_id: PageId) -> bool:
+        """Flip a bit in the current image of ``page_id`` (fault injection).
+
+        Latent: only :meth:`recover_into` / checksum validation observes
+        it.  Returns True if an image existed to corrupt.
+        """
+        image = self._images.get(page_id)
+        if image is None:
+            return False
+        image.checksum = (image.checksum ^ 0xA5) or 1
+        return True
+
     def restore_into(self, store: PageStore) -> int:
         """Rebuild a page store from the checkpoint (node restart path)."""
         count = 0
@@ -67,6 +112,31 @@ class StableStore:
             count += 1
         return count
 
+    def recover_into(self, store: PageStore) -> Tuple[int, int, int]:
+        """Checksum-validated restore with previous-generation fallback.
+
+        For each page: a corrupt current image falls back to the previous
+        good generation; if both generations are bad the page is skipped
+        entirely (left unallocated/at version 0) so peer migration
+        re-fetches it.  Returns ``(pages_restored, bytes_read,
+        corrupt_pages)``.
+        """
+        restored = nbytes = corrupt = 0
+        for page_id in sorted(self._images):
+            image = self._images[page_id]
+            if not image.verify():
+                corrupt += 1
+                self.counters.add("checkpoint.corrupt_pages")
+                image = self._previous.get(page_id)
+                if image is None or not image.verify():
+                    continue  # both generations bad: migration re-fetches
+                self.counters.add("checkpoint.fallback_pages")
+            page = store.get_or_allocate(image.page_id)
+            page.load_from(image.page)
+            restored += 1
+            nbytes += image.page.byte_size()
+        return restored, nbytes, corrupt
+
     def __len__(self) -> int:
         return len(self._images)
 
@@ -74,9 +144,12 @@ class StableStore:
     def save_to(self, path: str) -> int:
         """Persist every checkpointed page image to ``path`` (JSON lines).
 
-        The write is atomic: a temp file is renamed over the target, so a
-        crash mid-save leaves the previous checkpoint intact.  Returns the
-        number of pages written.
+        The publish is atomic rename-style: content is written to a temp
+        file and renamed over the target, so a crash mid-save leaves the
+        previous checkpoint intact.  The file it replaces is retained at
+        ``<path>.prev`` as the last good generation for
+        :meth:`load_from`'s corruption fallback.  Each line carries a CRC32
+        of its payload.  Returns the number of pages written.
         """
         temp = f"{path}.tmp"
         with open(temp, "w", encoding="utf-8") as fh:
@@ -88,14 +161,36 @@ class StableStore:
                     "capacity": image.page.capacity,
                     "slots": [list(r) if r is not None else None for r in image.page.slots],
                 }
+                payload = json.dumps(record, sort_keys=True)
+                record["crc"] = zlib.crc32(payload.encode("utf-8"))
                 fh.write(json.dumps(record))
                 fh.write("\n")
+        if os.path.exists(path):
+            os.replace(path, f"{path}.prev")
         os.replace(temp, path)
         return len(self._images)
 
     @classmethod
     def load_from(cls, path: str, counters: Optional[Counters] = None) -> "StableStore":
-        """Rebuild a stable store from a :meth:`save_to` file."""
+        """Rebuild a stable store from a :meth:`save_to` file.
+
+        A corrupt current file (bad JSON, missing fields, failed line CRC)
+        falls back to the previous good generation at ``<path>.prev``;
+        only when that too is missing or corrupt does the
+        :class:`~repro.common.errors.CorruptCheckpoint` propagate.
+        """
+        try:
+            return cls._load_file(path, counters)
+        except CorruptCheckpoint:
+            previous = f"{path}.prev"
+            if not os.path.exists(previous):
+                raise
+            store = cls._load_file(previous, counters)
+            store.counters.add("checkpoint.fallback_loads")
+            return store
+
+    @classmethod
+    def _load_file(cls, path: str, counters: Optional[Counters] = None) -> "StableStore":
         store = cls(counters)
         with open(path, "r", encoding="utf-8") as fh:
             for line_no, line in enumerate(fh, start=1):
@@ -104,16 +199,23 @@ class StableStore:
                     continue
                 try:
                     record = json.loads(line)
+                    crc = record.pop("crc", None)
+                    if crc is not None:
+                        payload = json.dumps(record, sort_keys=True)
+                        if crc != zlib.crc32(payload.encode("utf-8")):
+                            raise ValueError("line checksum mismatch")
                     page_id = PageId(record["table"], record["number"])
                     page = Page(page_id, capacity=record["capacity"], version=record["version"])
                     for slot, row in enumerate(record["slots"]):
                         if row is not None:
                             page.put(slot, tuple(row))
                 except (KeyError, ValueError, TypeError) as exc:
-                    raise SchemaError(
+                    raise CorruptCheckpoint(
                         f"corrupt checkpoint file {path} at line {line_no}: {exc}"
                     ) from exc
-                store._images[page_id] = PageImage(page_id, page.version, page)
+                store._images[page_id] = PageImage(
+                    page_id, page.version, page, _page_checksum(page)
+                )
         return store
 
 

@@ -6,9 +6,12 @@ from repro.common.errors import NodeUnavailable
 from repro.common.versions import VersionVector
 from repro.core import MasterReplica, SlaveReplica
 from repro.engine import Column, HeapEngine, TableSchema, TxnMode
+from repro.disk.wal import WriteAheadLog
+from repro.engine.engine import TwoPhaseLocking
 from repro.failover import (
     cleanup_after_master_failure,
     elect_new_master,
+    ghost_wal_records,
     integrate_stale_node,
     promote_slave_to_master,
     restore_from_checkpoint,
@@ -103,6 +106,76 @@ class TestMasterRecovery:
         do_update(master, slaves, 1, 50)
         new_master = promote_slave_to_master(slaves[0])
         assert new_master.current_versions().get("item") == 1
+
+    def test_promotion_reuses_versions_of_discarded_ghosts(self):
+        # After cleanup the promoted master's next commit claims the same
+        # version number the discarded write-set carried — the reuse that
+        # forces restart-time WAL redo to filter on commit identity, not
+        # version comparison alone.
+        master, slaves = build(2)
+        do_update(master, slaves, 1, 50)  # confirmed v1
+        ghost = do_update(master, slaves, 2, 60)  # unacknowledged v2
+        cleanup_after_master_failure(slaves, VersionVector({"item": 1}))
+        new_master = promote_slave_to_master(slaves[0], VersionVector({"item": 1}))
+        sql = SqlExecutor(new_master.engine)
+        txn = new_master.begin_update(write_tables=["item"])
+        sql.execute(txn, "UPDATE item SET i_stock = 77 WHERE i_id = 3")
+        ws = new_master.pre_commit(txn)
+        new_master.finalize(txn)
+        assert ws.versions == ghost.versions == {"item": 2}
+        assert ws.dedup_key() != ghost.dedup_key() or ws.txn_id != ghost.txn_id
+
+    def test_promotion_honors_read_concurrency_choice(self):
+        master, slaves = build(2)
+        do_update(master, slaves, 1, 50)
+        new_master = promote_slave_to_master(
+            slaves[0], VersionVector({"item": 1}), read_concurrency="2pl"
+        )
+        assert isinstance(new_master.engine.controller, TwoPhaseLocking)
+
+    def test_promotion_rejects_unknown_concurrency_mode(self):
+        master, slaves = build(1)
+        do_update(master, slaves, 1, 50)
+        with pytest.raises(ValueError):
+            promote_slave_to_master(
+                slaves[0], VersionVector({"item": 1}), read_concurrency="mvcc"
+            )
+
+
+class TestGhostClassification:
+    def _wal_with(self, master, slaves, count):
+        wal = WriteAheadLog()
+        for i in range(1, count + 1):
+            ws = do_update(master, slaves, i, i * 10)
+            wal.append_commit(
+                ws.txn_id, ws.ops, versions=ws.versions,
+                master_id=ws.master_id, seq=ws.seq,
+            )
+        return wal
+
+    def test_records_above_confirmed_are_ghost_candidates(self):
+        master, slaves = build(1)
+        wal = self._wal_with(master, slaves, 3)
+        ghosts = ghost_wal_records(
+            wal.records_since(0), VersionVector({"item": 1})
+        )
+        assert [dict(g.versions)["item"] for g in ghosts] == [2, 3]
+
+    def test_fully_covered_records_are_never_ghosts(self):
+        master, slaves = build(1)
+        wal = self._wal_with(master, slaves, 2)
+        assert ghost_wal_records(
+            wal.records_since(0), VersionVector({"item": 5})
+        ) == []
+
+    def test_versionless_records_are_skipped(self):
+        # Size-only disk-tier records carry no redo content: nothing to
+        # resurrect, so they are not ghost candidates.
+        from repro.disk.wal import WalRecord
+
+        assert ghost_wal_records(
+            [WalRecord(txn_id=1, nbytes=48)], VersionVector()
+        ) == []
 
 
 class TestCheckpointRestore:
