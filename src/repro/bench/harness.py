@@ -123,6 +123,13 @@ REPLICATION_COUNTERS = (
     "net.suspicions",
     "sched.queued_updates",
     "sched.deadline_rejects",
+    # Write scale-out counters: all zero on legacy single-master runs.
+    "engine.epochs",
+    "engine.epoch_batched_commits",
+    "sched.class_rehomes",
+    "sched.class_splits",
+    "sched.class_merges",
+    "sched.rehome_aborts",
 )
 
 
@@ -180,16 +187,25 @@ def run_dmv_throughput(
     straggler: Optional[str] = None,
     straggler_factor: float = 8.0,
     straggler_at: float = 0.0,
+    multi_master: bool = False,
+    num_masters: Optional[int] = None,
+    conflict_map=None,
 ) -> ThroughputRun:
     """One DMV throughput step, optionally with an injected straggler.
 
     ``straggler`` names a node whose service times are inflated by
     ``straggler_factor`` from ``straggler_at`` onward — the gray-failure
     setup the ack-policy comparison (§ straggler tolerance) measures.
+    ``multi_master``/``num_masters``/``conflict_map`` select the write
+    scale-out shape (the write-path scaling figure); the defaults keep the
+    legacy single-master cluster.
     """
     cluster = SimDmvCluster(
         TPCW_SCHEMAS,
         num_slaves=num_slaves,
+        conflict_map=conflict_map,
+        multi_master=multi_master,
+        num_masters=num_masters,
         cost_config=cost,
         rows_per_page=BENCH_ROWS_PER_PAGE,
         seed=seed,

@@ -8,8 +8,8 @@ under *messy* failures, not just clean scheduled kills.  This package adds:
   channels and scheduler RPCs;
 * :mod:`repro.chaos.faults` — seeded, declarative fault plans that schedule
   node crashes, reintegrations, scheduler kills, link faults, healed
-  partitions and storage faults (torn writes, fsync lies, bit flips)
-  against a running cluster;
+  partitions, storage faults (torn writes, fsync lies, bit flips), flash
+  crowds and forced conflict-class re-homes against a running cluster;
 * :mod:`repro.chaos.invariants` — Jepsen-lite post-quiescence checkers
   (durability, version convergence, snapshot consistency, write-set
   conservation, durable-prefix / no-ghost-commits on durable clusters);
@@ -22,9 +22,11 @@ from repro.chaos.faults import (
     CrashNode,
     CrashScheduler,
     FaultPlan,
+    FlashCrowd,
     FsyncLie,
     LinkFault,
     Partition,
+    Rehome,
     ReintegrateNode,
     RestartNode,
     Slowdown,
@@ -34,6 +36,7 @@ from repro.chaos.invariants import (
     InvariantResult,
     check_all_invariants,
     check_buffer_bounds,
+    check_class_ownership_unique,
     check_counter_conservation,
     check_durable_commits,
     check_durable_prefix,
@@ -50,6 +53,7 @@ from repro.chaos.scenario import (
     durability_chaos_plan,
     run_chaos_scenario,
     straggler_chaos_plan,
+    write_scaleout_chaos_plan,
 )
 
 __all__ = [
@@ -59,18 +63,21 @@ __all__ = [
     "CrashNode",
     "CrashScheduler",
     "FaultPlan",
+    "FlashCrowd",
     "FsyncLie",
     "InvariantResult",
     "LinkFault",
     "LinkState",
     "NetworkModel",
     "Partition",
+    "Rehome",
     "ReintegrateNode",
     "RestartNode",
     "Slowdown",
     "TornWrite",
     "check_all_invariants",
     "check_buffer_bounds",
+    "check_class_ownership_unique",
     "check_counter_conservation",
     "check_durable_commits",
     "check_durable_prefix",
@@ -83,4 +90,5 @@ __all__ = [
     "durability_chaos_plan",
     "run_chaos_scenario",
     "straggler_chaos_plan",
+    "write_scaleout_chaos_plan",
 ]

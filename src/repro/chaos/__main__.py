@@ -15,6 +15,7 @@ from repro.chaos.scenario import (
     durability_chaos_plan,
     run_chaos_scenario,
     straggler_chaos_plan,
+    write_scaleout_chaos_plan,
 )
 
 
@@ -28,11 +29,13 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
     parser.add_argument(
         "--plan",
-        choices=("default", "straggler", "durability"),
+        choices=("default", "straggler", "durability", "write-scaleout"),
         default="default",
         help="fault plan: 'default' (loss + partition + master crash), "
-        "'straggler' (lossy fabric + one slow-but-alive slave) or "
-        "'durability' (durable WAL, storage faults, restart-from-own-disk)",
+        "'straggler' (lossy fabric + one slow-but-alive slave), "
+        "'durability' (durable WAL, storage faults, restart-from-own-disk) "
+        "or 'write-scaleout' (two masters, flash write load, forced class "
+        "re-homes, master kill during handoff)",
     )
     parser.add_argument(
         "--ack-policy",
@@ -83,10 +86,21 @@ def main(argv=None) -> int:
         "default": default_chaos_plan,
         "straggler": straggler_chaos_plan,
         "durability": durability_chaos_plan,
+        "write-scaleout": write_scaleout_chaos_plan,
     }[args.plan]
     from repro.cluster.costs import CostConfig
 
     durable = args.plan == "durability"
+    scaleout = args.plan == "write-scaleout"
+    multi_master_kwargs = {}
+    if scaleout:
+        from repro.tpcw.schema import tpcw_conflict_map
+
+        multi_master_kwargs = dict(
+            multi_master=True,
+            num_masters=2,
+            conflict_map=tpcw_conflict_map(multi_master=True),
+        )
     report = run_chaos_scenario(
         seed=args.seed,
         plan=plan_builder(args.seed, args.duration),
@@ -97,9 +111,16 @@ def main(argv=None) -> int:
         ack_policy=args.ack_policy,
         quorum_k=args.quorum_k,
         cost_config=CostConfig(
-            read_concurrency=args.read_concurrency, durable_wal=durable
+            read_concurrency=args.read_concurrency,
+            durable_wal=durable,
+            update_mpl=4 if scaleout else 0,
+            epoch_max_txns=4 if scaleout else 1,
+            epoch_ms=5.0 if scaleout else 0.0,
+            dynamic_classes=scaleout,
+            rebalance_interval=5.0 if scaleout else 0.0,
         ),
         checkpoint_period=args.duration / 10.0 if durable else 0.0,
+        **multi_master_kwargs,
     )
     print(report.summary())
     if args.trace and report.tracer is not None:

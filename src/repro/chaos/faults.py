@@ -193,6 +193,55 @@ class Slowdown:
 
 
 @dataclass(frozen=True)
+class FlashCrowd:
+    """Spawn ``browsers`` extra emulated browsers at ``at``.
+
+    The newcomers clone the profile of the browsers already running (mix,
+    scale, think time), so a flash crowd is a pure load step — the fault
+    the write scale-out stack's admission control exists to absorb.
+    """
+
+    at: float
+    browsers: int
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.flash_crowd,
+            self.browsers,
+        )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s flash crowd +{self.browsers} browsers"
+
+
+@dataclass(frozen=True)
+class Rehome:
+    """Force ``table``'s conflict class onto master ``dst`` at ``at``.
+
+    Exercises the drain-barrier handoff under load: new updates for the
+    class park, in-flight transactions and the open epoch drain, the
+    destination adopts the version sequences, ownership flips.  A no-op
+    when ``dst`` already owns the class.
+    """
+
+    at: float
+    table: str
+    dst: str
+
+    def install(self, cluster) -> None:
+        cluster.sim.schedule(
+            max(0.0, self.at - cluster.sim.now()),
+            cluster.rehome_table_to,
+            self.table,
+            self.dst,
+        )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s re-home class of {self.table} -> {self.dst}"
+
+
+@dataclass(frozen=True)
 class CrashScheduler:
     """Kill one scheduler agent at ``at`` (peers take over, §4.1)."""
 

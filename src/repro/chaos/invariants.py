@@ -429,6 +429,68 @@ def check_no_ghost_commits(cluster) -> InvariantResult:
     )
 
 
+def check_class_ownership_unique(cluster) -> InvariantResult:
+    """Conflict classes partition the tables with exactly one owner each.
+
+    Post-quiescence, after any sequence of splits, merges, re-homes and
+    master failovers: (a) the conflict map still partitions the tables
+    along atom boundaries (no co-written template straddles classes),
+    (b) no table is claimed by two alive masters' lock controllers, and
+    (c) for every class whose assigned master is alive, that master's
+    controller owns exactly the class's tables.  Trivially green on a
+    legacy single-master cluster.
+    """
+    name = "class-ownership-unique"
+    conflict_map = getattr(cluster, "conflict_map", None)
+    if conflict_map is None:
+        return InvariantResult(name, True, "no conflict map")
+    try:
+        conflict_map.validate_disjoint()
+    except Exception as exc:  # ConfigError carries the violated invariant
+        return InvariantResult(name, False, str(exc))
+
+    problems: List[str] = []
+    owned_by: Dict[str, str] = {}
+    for node in cluster.nodes.values():
+        owned = getattr(getattr(node, "engine", None), "controller", None)
+        owned = getattr(owned, "owned", None)
+        if not (node.alive and node.master is not None and owned is not None):
+            continue
+        for table in owned:
+            if table in owned_by:
+                problems.append(
+                    f"{table} owned by both {owned_by[table]} and {node.node_id}"
+                )
+            owned_by[table] = node.node_id
+    classes = conflict_map.class_ids()
+    for class_id in classes:
+        try:
+            owner = conflict_map.master_of_class(class_id)
+        except Exception:
+            break  # masters never assigned (map used for routing only)
+        node = cluster.nodes.get(owner)
+        if node is None or not node.alive or node.master is None:
+            continue  # failover pending; dead owners carry no obligations
+        if getattr(node.engine.controller, "owned", None) is None:
+            continue  # legacy single-master controller: no owned-set to audit
+        for table in conflict_map.tables_of_class(class_id):
+            holder = owned_by.get(table)
+            if holder != owner:
+                problems.append(
+                    f"class {class_id} table {table}: map says {owner}, "
+                    f"controller says {holder}"
+                )
+    if problems:
+        shown = "; ".join(problems[:5])
+        extra = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        return InvariantResult(name, False, f"{shown}{extra}")
+    return InvariantResult(
+        name,
+        True,
+        f"{len(classes)} class(es), {len(owned_by)} controller-owned table(s)",
+    )
+
+
 def check_all_invariants(
     cluster, sample_tables: Optional[Sequence[str]] = None
 ) -> List[InvariantResult]:
@@ -446,6 +508,7 @@ def check_all_invariants(
         check_buffer_bounds(cluster),
         check_rejoin_convergence(cluster),
         check_quorum_durability(cluster),
+        check_class_ownership_unique(cluster),
     ]
     if getattr(cluster, "durability_active", False):
         results.append(check_durable_prefix(cluster))

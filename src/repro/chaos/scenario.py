@@ -22,9 +22,11 @@ from repro.chaos.faults import (
     BitFlip,
     CrashNode,
     FaultPlan,
+    FlashCrowd,
     FsyncLie,
     LinkFault,
     Partition,
+    Rehome,
     ReintegrateNode,
     RestartNode,
     Slowdown,
@@ -61,6 +63,13 @@ CHAOS_COUNTERS = (
     "checkpoint.corrupt_pages",
     "checkpoint.fallback_pages",
     "disk.restart_recoveries",
+    # Write scale-out counters: all zero on legacy single-master runs.
+    "engine.epochs",
+    "engine.epoch_batched_commits",
+    "sched.class_rehomes",
+    "sched.class_splits",
+    "sched.class_merges",
+    "sched.rehome_aborts",
 )
 
 
@@ -204,6 +213,37 @@ def durability_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
     )
 
 
+def write_scaleout_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """Write scale-out soak: flash write load, forced re-homes, master kill.
+
+    Requires a two-master cluster with dynamic classes enabled (the
+    ``--plan write-scaleout`` CLI wiring builds one):
+
+    * mild fabric loss/duplication throughout (cleared at 75 %);
+    * a flash crowd at 10 % doubles the ordering-mix write load, pushing
+      the masters into the admission-control regime;
+    * the customer class is forcibly re-homed away at 30 % and back at
+      50 % — two drain-barrier handoffs under full load;
+    * the re-home destination master is killed shortly after the second
+      handoff begins (mid-drain for slow drains, just post-flip for fast
+      ones); either way its classes fail over and the parked updates
+      re-route, never straddling owners;
+    * the dead master reintegrates at 75 %, before quiescence.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=t(0.75)),
+            FlashCrowd(at=t(0.1), browsers=16),
+            Rehome(at=t(0.3), table="customer", dst="m0"),
+            Rehome(at=t(0.5), table="customer", dst="m1"),
+            CrashNode(at=t(0.52), node_id="m1"),
+            ReintegrateNode(at=t(0.75), node_id="m1"),
+        ),
+    )
+
+
 def run_chaos_scenario(
     seed: int = 0,
     plan: Optional[FaultPlan] = None,
@@ -220,6 +260,9 @@ def run_chaos_scenario(
     quorum_k: int = 1,
     cost_config=None,
     checkpoint_period: float = 0.0,
+    multi_master: bool = False,
+    num_masters: Optional[int] = None,
+    conflict_map=None,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
@@ -248,6 +291,9 @@ def run_chaos_scenario(
         ack_policy=ack_policy,
         quorum_k=quorum_k,
         checkpoint_period=checkpoint_period,
+        multi_master=multi_master,
+        num_masters=num_masters,
+        conflict_map=conflict_map,
     )
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()

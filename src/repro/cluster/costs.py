@@ -98,6 +98,53 @@ class CostConfig:
     #: read validation, the default) or ``"2pl"`` (legacy shared-mode page
     #: locks, which reproduces the pre-OCC counter fingerprints bit-for-bit).
     read_concurrency: str = "occ"
+    # -- write-path scale-out (epoch commit + dynamic conflict classes) -----------------------
+    #: Commits admitted into one commit epoch before it seals.  1 (the
+    #: default) is the legacy per-transaction commit path, reproduced
+    #: bit-for-bit; >1 enables epoch-batched version-vector advancement:
+    #: N commits share one vector advance, one WAL force and one broadcast
+    #: barrier.
+    epoch_max_txns: int = 1
+    #: Epoch timer in milliseconds: an open epoch seals after this long even
+    #: if not full.  0 with ``epoch_max_txns > 1`` seals each epoch as soon
+    #: as its first member reaches the barrier (batching only same-instant
+    #: arrivals).
+    epoch_ms: float = 0.0
+    #: Per-master update admission limit (multiprogramming level).  Bounds
+    #: the number of update transactions concurrently *executing* on one
+    #: master, which collapses OCC validation aborts under write overload.
+    #: 0 = unbounded (legacy).
+    update_mpl: int = 0
+    #: Enable load-driven split/merge/re-home of conflict classes across
+    #: masters.  Off by default: the rebalancer daemon moves counters and
+    #: sim events, so legacy seeded fingerprints require it disabled.
+    dynamic_classes: bool = False
+    #: Rebalancer sampling period (seconds of virtual time); 0 disables the
+    #: daemon even when ``dynamic_classes`` is set.
+    rebalance_interval: float = 0.0
+    #: A class is only worth moving when its write-rate EWMA exceeds this
+    #: many commits/second — below it, imbalance is noise.
+    rebalance_min_rate: float = 2.0
+    #: Re-home triggers when the hottest master's EWMA load exceeds the
+    #: coolest master's by this factor.
+    rebalance_imbalance: float = 2.0
+    #: Minimum virtual seconds between re-homes (anti-thrash hysteresis).
+    rebalance_cooldown: float = 10.0
+    #: EWMA smoothing factor for per-class write rates (same machinery as
+    #: the straggler detector's ack-latency EWMAs).
+    class_rate_alpha: float = 0.2
+    #: A re-home drain barrier that cannot quiesce the moving class within
+    #: this long aborts the handoff and leaves ownership untouched.
+    rehome_drain_timeout: float = 5.0
+    #: Fixed coordination overhead of one class re-home (ownership flip
+    #: broadcast + scheduler table update).  The historical model priced
+    #: class->master assignment as free because it could never change;
+    #: re-homing makes handoffs a real, configurable cost so ablation
+    #: numbers stay honest.
+    rehome_handoff_overhead: float = 0.02
+    #: Per-table CPU cost of adopting a re-homed table on the destination
+    #: master (version-counter adoption + ownership-set update).
+    cpu_per_rehome_table: float = 0.0005
     # -- reconfiguration --------------------------------------------------------------------------
     #: Fixed coordination overhead of master-failure recovery (abort round,
     #: election, topology broadcast) — the paper measures ~6 s total.
@@ -184,3 +231,18 @@ class CostModel:
 
     def sequential_disk(self, nbytes: int) -> float:
         return self.config.disk.sequential_cost(nbytes)
+
+    def rehome_cost(self, table_count: int, pending_ops: int = 0) -> float:
+        """Service time of one conflict-class re-home handoff.
+
+        Fixed coordination overhead plus per-table adoption work on the
+        destination master plus application of any still-buffered ops for
+        the moved tables.  With the static assignment path (no re-homes)
+        this is never charged, so historical cost totals are unchanged.
+        """
+        c = self.config
+        return (
+            c.rehome_handoff_overhead
+            + c.cpu_per_rehome_table * table_count
+            + self.apply_cpu(pending_ops)
+        )

@@ -13,14 +13,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.network import NetworkModel
 from repro.common.counters import Counters
-from repro.common.errors import NodeUnavailable, TransactionAborted
+from repro.common.errors import ConfigError, NodeUnavailable, TransactionAborted
 from repro.common.rng import RngStream
 from repro.common.versions import VersionVector
 from repro.cluster.costs import CostConfig, CostModel
 from repro.cluster.simnodes import DiskDbNode, InMemoryDbNode, SimNode
-from repro.cluster.straggler import LaggardDetector
+from repro.cluster.straggler import ClassWriteRates, LaggardDetector
 from repro.core.conflictclass import ConflictClassMap
+from repro.core.dual import DualController
 from repro.engine.schema import TableSchema
+from repro.engine.txn import TxnMode
+from repro.sim.resources import Resource
 from repro.failover.recovery import (
     cleanup_after_master_failure,
     elect_new_master,
@@ -85,6 +88,10 @@ class SimConnection(Connection):
         self._txn = None
         self._is_update = False
         self._queries: List[Tuple[str, Tuple]] = []
+        #: Update-admission slot held while an update executes
+        #: (``update_mpl > 0`` only); ownership moves to ``commit_update``
+        #: at commit, otherwise :meth:`cleanup` releases it.
+        self._mpl_slot: Optional[Resource] = None
         #: Root span of the current transaction attempt.  Ownership moves
         #: to :meth:`SimDmvCluster.commit_update` for update commits; any
         #: span still held here is closed as aborted by :meth:`cleanup`.
@@ -121,7 +128,7 @@ class SimConnection(Connection):
         root = self._root
         sched = root.child("schedule", kind="update")
         try:
-            node = yield from self.cluster.acquire_master(tables)
+            node, self._mpl_slot = yield from self.cluster.admit_update(tables)
         except BaseException as exc:
             sched.finish(status="error", error=type(exc).__name__)
             raise
@@ -165,6 +172,7 @@ class SimConnection(Connection):
             raise RuntimeError("no open transaction")
         self._node = self._txn = None
         if not node.alive or not txn.active:
+            self._release_mpl_slot()
             if not self._is_update:
                 self.cluster.scheduler.note_read_done(node.node_id)
             raise NodeUnavailable(f"node {node.node_id} failed before commit")
@@ -176,18 +184,27 @@ class SimConnection(Connection):
             return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
         queries, self._queries = self._queries, []
         # Root-span ownership moves to commit_update, which closes it when
-        # the replication pipeline resolves (committed or aborted).
+        # the replication pipeline resolves (committed or aborted).  So
+        # does the admission slot: commit_update holds it through the
+        # replication pipeline and releases it on any exit path.
         self._root = NULL_SPAN
+        slot, self._mpl_slot = self._mpl_slot, None
         return self.cluster.sim.spawn(
-            self.cluster.commit_update(node, txn, queries), name="commit"
+            self.cluster.commit_update(node, txn, queries, mpl_slot=slot), name="commit"
         )
 
     def abort(self):
         self.cleanup()
         return self.cluster.sim.timeout(self.cluster.cost.config.rtt())
 
+    def _release_mpl_slot(self) -> None:
+        slot, self._mpl_slot = self._mpl_slot, None
+        if slot is not None:
+            slot.release()
+
     def cleanup(self) -> None:
         """Roll back whatever is still open (safe to call repeatedly)."""
+        self._release_mpl_slot()
         node, txn = self._node, self._txn
         self._node = self._txn = None
         root, self._root = self._root, NULL_SPAN
@@ -562,6 +579,29 @@ class ReplicationChannel:
             self._outbox[:0] = live
 
 
+class _CommitEpoch:
+    """One open commit epoch on one master (epoch-batched commit mode).
+
+    Members join while the epoch is open (per-txn OCC validation, shared
+    per-table epoch versions, early lock release); the epoch seals when it
+    is full or its timer fires, publishing one concatenated write-set
+    through one broadcast + ack barrier.  ``done`` resolves True once the
+    epoch is confirmed to the scheduler, False if the master died first.
+    """
+
+    __slots__ = ("ops", "versions", "members", "done", "sealed", "opened_at")
+
+    def __init__(self, now: float, done) -> None:
+        self.ops: List = []
+        #: table -> version reserved for this epoch (one advance per table).
+        self.versions: Dict[str, int] = {}
+        #: (txn_id, commit_versions, queries, started_at) per member.
+        self.members: List[Tuple] = []
+        self.done = done
+        self.sealed = False
+        self.opened_at = now
+
+
 class SimDmvCluster:
     """Scheduler(s) + master + slaves (+ spares) under the event kernel."""
 
@@ -573,6 +613,7 @@ class SimDmvCluster:
         num_schedulers: int = 1,
         conflict_map: Optional[ConflictClassMap] = None,
         multi_master: bool = False,
+        num_masters: Optional[int] = None,
         cost_config: Optional[CostConfig] = None,
         cache_pages: int = 1 << 30,
         rows_per_page: int = 64,
@@ -613,7 +654,11 @@ class SimDmvCluster:
         table_names = [s.name for s in self.schemas]
         if conflict_map is None:
             conflict_map = ConflictClassMap.single_class(table_names)
-        num_masters = min(conflict_map.num_classes, 2) if multi_master else 1
+        if num_masters is None:
+            # Legacy shape: one master, or (historic multi-master tests)
+            # one per conflict class capped at two.
+            num_masters = min(conflict_map.num_classes, 2) if multi_master else 1
+        num_masters = max(1, num_masters)
         master_ids = [f"m{i}" for i in range(num_masters)]
         conflict_map.assign_masters(master_ids)
         self.conflict_map = conflict_map
@@ -638,7 +683,7 @@ class SimDmvCluster:
                 self.sim, master_id, self.cost, self.schemas, cache_pages, rows_per_page,
                 tracer=self.tracer, durable=self.cost.config.durable_wal,
             )
-            if multi_master and len(master_ids) > 1:
+            if len(master_ids) > 1:
                 master.make_dual_master(
                     {
                         t for t in table_names
@@ -710,9 +755,30 @@ class SimDmvCluster:
         #: (node_id, crash_time, confirmed-at-crash dict) per completed
         #: restart-from-own-disk recovery.
         self._restart_audits: List[Tuple[str, float, Dict[str, int]]] = []
+        #: Open commit epochs per master (``epoch_max_txns > 1`` only).
+        self._epochs: Dict[str, _CommitEpoch] = {}
+        #: Per-master update-admission semaphores (``update_mpl > 0`` only;
+        #: created lazily so the legacy configuration allocates nothing).
+        self._update_slots: Dict[str, Resource] = {}
+        #: Conflict classes mid-re-home: updates routed to one of these park
+        #: on the waiter queue until the ownership flip (drain barrier).
+        self._rehoming_classes: set = set()
+        #: Per-class commit counts since the last rebalancer tick, and the
+        #: write-rate EWMAs fed from them.  Pure bookkeeping (no events, no
+        #: RNG, no counters), so constructing them never perturbs a seeded
+        #: run; the rebalancer daemon that acts on them is spawned only when
+        #: dynamic classes are enabled.
+        self._class_commits: Dict[int, int] = {}
+        self.class_rates = ClassWriteRates(self.cost.config.class_rate_alpha)
+        self._last_rehome_at = float("-inf")
+        #: Last stored browser-pool profile (mix, scale, sequences, think,
+        #: retries) so chaos flash-crowd events can add load mid-run.
+        self._browser_profile = None
         self.sim.spawn(self._failure_detector(), name="failure-detector")
         if self.straggler_active:
             self.sim.spawn(self._laggard_monitor(), name="laggard-monitor")
+        if self.rebalancer_active:
+            self.sim.spawn(self._rebalancer_loop(), name="class-rebalancer")
         if checkpoint_period > 0:
             self.sim.spawn(self._checkpoint_daemon(checkpoint_period), name="checkpointer")
         if pageid_ship_every > 0:
@@ -864,6 +930,30 @@ class SimDmvCluster:
         deadline = self.sim.now() + self.cost.config.update_queue_deadline
         queued = False
         while True:
+            if self._rehoming_classes and tables:
+                # Drain barrier of an in-flight class re-home: updates for
+                # the moving class park here until the ownership flip, so no
+                # transaction ever straddles old and new owner.
+                try:
+                    moving = self.conflict_map.class_of_tables(list(tables))
+                except ConfigError:
+                    moving = None
+                if moving is not None and moving in self._rehoming_classes:
+                    if not queued:
+                        queued = True
+                        self.counters.add("sched.queued_updates")
+                    remaining = deadline - self.sim.now()
+                    if remaining <= 0:
+                        self.counters.add("sched.deadline_rejects")
+                        expired = NodeUnavailable(
+                            "update queue deadline expired during class re-home"
+                        )
+                        expired.reason = "reconfig-deadline"
+                        raise expired
+                    waiter = self.sim.event()
+                    self._update_waiters.append(waiter)
+                    yield self.sim.any_of([waiter, self.sim.timeout(remaining)])
+                    continue
             master_id: Optional[str] = None
             try:
                 master_id = self.scheduler.route_update(list(tables))
@@ -927,11 +1017,51 @@ class SimDmvCluster:
             if not waiter.triggered:
                 waiter.succeed(None)
 
+    def _update_slot(self, node_id: str) -> Resource:
+        slot = self._update_slots.get(node_id)
+        if slot is None:
+            slot = self._update_slots[node_id] = Resource(
+                self.sim, self.cost.config.update_mpl
+            )
+        return slot
+
+    def admit_update(self, tables: Sequence[str]):
+        """Route an update to its master and, when ``update_mpl`` bounds the
+        per-master multiprogramming level, wait for an admission slot.
+
+        Returns ``(node, slot)``; ``slot`` is ``None`` when admission is
+        unbounded (legacy).  The slot is re-validated after the wait: the
+        master may have died or the class re-homed while queued, in which
+        case the update re-routes rather than executing against a stale
+        owner.
+        """
+        while True:
+            node = yield from self.acquire_master(tables)
+            if self.cost.config.update_mpl <= 0:
+                return node, None
+            slot = self._update_slot(node.node_id)
+            yield from slot.acquire()
+            stale = not node.alive or node.master is None
+            if not stale and tables:
+                try:
+                    stale = self.conflict_map.master_for_tables(tables) != node.node_id
+                except ConfigError:
+                    stale = True
+            if not stale:
+                return node, slot
+            slot.release()
+
     # -- straggler tolerance (laggard demotion + rejoin) ---------------------------------------
     @property
     def straggler_active(self) -> bool:
         """True when laggard demotion machinery may act (non-``all`` policy)."""
         return self.ack_policy != "all"
+
+    @property
+    def rebalancer_active(self) -> bool:
+        """True when the dynamic conflict-class rebalancer daemon runs."""
+        cfg = self.cost.config
+        return cfg.dynamic_classes and cfg.rebalance_interval > 0
 
     @property
     def durability_active(self) -> bool:
@@ -1073,15 +1203,23 @@ class SimDmvCluster:
         span.finish(status="rejoined")
 
     # -- replication ------------------------------------------------------------------------
-    def commit_update(self, node: InMemoryDbNode, txn, queries):
+    def commit_update(self, node: InMemoryDbNode, txn, queries, mpl_slot=None):
         """Master pre-commit + eager broadcast + ack barrier (Figure 2).
 
         This job owns the transaction's root span from the moment the
         connection spawns it: whatever path the commit takes (success,
         master death mid-broadcast, interrupt), the root is closed here
-        with a terminal ``status`` tag.
+        with a terminal ``status`` tag.  It also owns the update-admission
+        slot (``update_mpl > 0``), released on every exit path.
+
+        With ``epoch_max_txns > 1`` the commit takes the epoch-batched
+        path instead: N commits share one version-vector advance, one WAL
+        force and one broadcast barrier.
         """
         cfg = self.cost.config
+        if cfg.epoch_max_txns > 1:
+            result = yield from self._commit_update_epoch(node, txn, queries, mpl_slot)
+            return result
         root = getattr(txn, "obs_span", NULL_SPAN)
         committed = False
         started = self.sim.now()
@@ -1179,13 +1317,413 @@ class SimDmvCluster:
                 self.commit_log.append((node.node_id, txn.txn_id, dict(write_set.versions)))
                 self._replicate_scheduler_state(primary)
                 node.master.finalize(txn)
+                if self.rebalancer_active:
+                    self._note_class_commits(write_set.versions, 1)
             yield self.sim.timeout(cfg.rtt())
             committed = True
             if write_set is not None:
                 self.metrics.commit_latency.record(self.sim.now() - started)
             return None
         finally:
+            if mpl_slot is not None:
+                mpl_slot.release()
             root.finish(status="committed" if committed else "aborted")
+
+    def _note_class_commits(self, versions, count: int) -> None:
+        """Feed per-class commit counts to the rebalancer's rate tracker."""
+        if not versions:
+            return
+        try:
+            cls = self.conflict_map.class_of(next(iter(versions)))
+        except ConfigError:
+            return
+        self._class_commits[cls] = self._class_commits.get(cls, 0) + count
+
+    # -- epoch-batched commit (epoch_max_txns > 1) ---------------------------------------------
+    def _open_epoch(self, node: InMemoryDbNode) -> _CommitEpoch:
+        epoch = self._epochs.get(node.node_id)
+        if epoch is None or epoch.sealed:
+            epoch = _CommitEpoch(self.sim.now(), self.sim.event())
+            self._epochs[node.node_id] = epoch
+            if self.cost.config.epoch_ms > 0:
+                self.sim.spawn(self._epoch_timer(node, epoch), name="epoch-timer")
+        return epoch
+
+    def _epoch_timer(self, node: InMemoryDbNode, epoch: _CommitEpoch):
+        """Seal an open epoch after ``epoch_ms`` even if it never filled."""
+        yield self.sim.timeout(self.cost.config.epoch_ms / 1000.0)
+        if epoch.sealed:
+            return
+        if node.alive and node.master is not None:
+            yield from self._seal_epoch(node, epoch)
+        else:
+            # The master died with the epoch open: fail every member (the
+            # browsers retry), exactly like a mid-broadcast master crash.
+            epoch.sealed = True
+            if not epoch.done.triggered:
+                epoch.done.succeed(False)
+
+    def _commit_update_epoch(self, node: InMemoryDbNode, txn, queries, mpl_slot=None):
+        """Epoch-batched variant of :meth:`commit_update`.
+
+        OCC validation runs per transaction at epoch *join* (with early
+        lock release — safe because OCC page stamps advance at write time,
+        and an unpublished epoch only dies with the whole master), while
+        version-vector advancement, the WAL force, the broadcast and the
+        ack barrier are amortized over the sealed epoch.
+        """
+        cfg = self.cost.config
+        root = getattr(txn, "obs_span", NULL_SPAN)
+        committed = False
+        started = self.sim.now()
+        try:
+            if not node.alive or not txn.active:
+                raise NodeUnavailable(f"master {node.node_id} failed before commit")
+            yield from node.cpu.acquire()
+            pre = (
+                root.child("precommit", node=node.node_id)
+                if root.recording
+                else NULL_SPAN
+            )
+            epoch = None
+            ops = None
+            try:
+                epoch = self._open_epoch(node)
+                if pre.recording:
+                    txn.obs_span = pre
+                try:
+                    ops, commit_versions = node.master.pre_commit_epoch(
+                        txn, epoch.versions
+                    )
+                except TransactionAborted as exc:
+                    if node.alive and txn.active:
+                        node.engine.abort(txn, reason=getattr(exc, "reason", "abort"))
+                    raise
+                finally:
+                    if pre.recording:
+                        txn.obs_span = root
+                if ops is not None:
+                    epoch.ops.extend(ops)
+                    epoch.members.append((txn.txn_id, commit_versions, queries, started))
+                    yield self.sim.timeout(self.cost.precommit_cpu(len(ops)))
+            finally:
+                node.cpu.release()
+                if ops is not None:
+                    pre.finish(
+                        status="ok", ops=len(ops), epoch_members=len(epoch.members)
+                    )
+                else:
+                    pre.finish(status="read-only")
+            if ops is None:
+                yield self.sim.timeout(cfg.rtt())
+                committed = True
+                return None
+            if len(epoch.members) >= cfg.epoch_max_txns or cfg.epoch_ms <= 0:
+                yield from self._seal_epoch(node, epoch)
+            yield epoch.done
+            if not epoch.done.value:
+                raise NodeUnavailable(
+                    f"master {node.node_id} failed during epoch commit"
+                )
+            yield self.sim.timeout(cfg.rtt())
+            committed = True
+            self.metrics.commit_latency.record(self.sim.now() - started)
+            return None
+        finally:
+            if mpl_slot is not None:
+                mpl_slot.release()
+            root.finish(status="committed" if committed else "aborted")
+
+    def _seal_epoch(self, node: InMemoryDbNode, epoch: _CommitEpoch):
+        """Close one epoch: one write-set, one WAL force, one ack barrier.
+
+        Runs in the sealing member's (or the timer's) process.  ``done``
+        always resolves — in a ``finally`` — so joined members can never
+        hang; it carries False unless the epoch was fully published.
+        """
+        if epoch.sealed:
+            return
+        epoch.sealed = True
+        cfg = self.cost.config
+        ok = False
+        try:
+            if not node.alive or not epoch.members:
+                return
+            write_set = node.master.seal_epoch(
+                epoch.members[0][0], tuple(epoch.ops), epoch.versions,
+                len(epoch.members),
+            )
+            node.log_write_set(write_set)
+            if node.durable:
+                # One group force covers every member — the durable-mode
+                # amortization the epoch exists for.
+                yield self.sim.timeout(cfg.wal_fsync_time)
+            retain = (self.straggler_active and self._demoted) or (
+                self.durability_active and self._any_node_down()
+            )
+            if retain:
+                self._replay_log[write_set.dedup_key()] = write_set
+            elif self._replay_log:
+                self._replay_log.clear()
+            acks = [
+                self._channel(node.node_id, target).send(write_set)
+                for target in self.nodes.values()
+                if target.node_id != node.node_id
+                and target.alive
+                and target.slave is not None
+                and target.subscribed
+            ]
+            if self.straggler_active and self._demoted:
+                excluded = sum(
+                    1
+                    for node_id in self._demoted
+                    if (peer := self.nodes.get(node_id)) is not None and peer.alive
+                )
+                if excluded:
+                    self.counters.add("net.acks_skipped_demoted", excluded)
+            if acks:
+                yield from self._ack_barrier(acks)
+            if not node.alive:
+                return
+            primary = self.scheduler
+            for txn_id, versions, queries, _started in epoch.members:
+                primary.on_master_commit(node.node_id, versions, queries, txn_id)
+                self.commit_log.append((node.node_id, txn_id, dict(versions)))
+            self._replicate_scheduler_state(primary)
+            if self.rebalancer_active:
+                self._note_class_commits(epoch.versions, len(epoch.members))
+            ok = True
+        finally:
+            if not epoch.done.triggered:
+                epoch.done.succeed(ok)
+
+    # -- dynamic conflict-class sharding (rebalancer + re-home handoff) ------------------------
+    def _class_masters(self) -> List[InMemoryDbNode]:
+        """Alive nodes able to own conflict classes (dual master+slave)."""
+        return [
+            node
+            for _, node in sorted(self.nodes.items())
+            if node.alive
+            and node.master is not None
+            and node.slave is not None
+            and isinstance(node.engine.controller, DualController)
+        ]
+
+    def _rebalancer_loop(self):
+        """Load-driven split/merge/re-home of conflict classes.
+
+        Samples per-class commit counts every ``rebalance_interval``
+        seconds into write-rate EWMAs, folds cold split-products back
+        together, and moves (splitting first if necessary) the hottest
+        movable class from the most- to the least-loaded master when the
+        imbalance crosses ``rebalance_imbalance``.
+        """
+        cfg = self.cost.config
+        while True:
+            yield self.sim.timeout(cfg.rebalance_interval)
+            counts, self._class_commits = self._class_commits, {}
+            self.class_rates.observe_tick(counts, cfg.rebalance_interval)
+            if self.sim.now() - self._last_rehome_at < cfg.rebalance_cooldown:
+                continue
+            if self._reconfiguring or self._rehoming_classes:
+                continue
+            self._maybe_merge()
+            plan = self._plan_rebalance()
+            if plan is None:
+                continue
+            class_id, dst_id = plan
+            self._last_rehome_at = self.sim.now()
+            yield from self._rehome_class(class_id, dst_id)
+
+    def _plan_rebalance(self) -> Optional[Tuple[int, str]]:
+        """Pick ``(class_id, destination_master)`` to move, or ``None``.
+
+        Deterministic: candidates are iterated in sorted order, so the
+        same seed always yields the same re-home sequence.
+        """
+        cfg = self.cost.config
+        masters = self._class_masters()
+        if len(masters) < 2:
+            return None
+        rates = {c: self.class_rates.rate(c) for c in self.conflict_map.class_ids()}
+        load: Dict[str, float] = {n.node_id: 0.0 for n in masters}
+        for class_id, rate in sorted(rates.items()):
+            owner = self.conflict_map.master_of_class(class_id)
+            if owner in load:
+                load[owner] += rate
+        hot_id = max(sorted(load), key=lambda m: load[m])
+        cool_id = min(sorted(load), key=lambda m: load[m])
+        if hot_id == cool_id or load[hot_id] < cfg.rebalance_min_rate:
+            return None
+        if load[hot_id] < cfg.rebalance_imbalance * max(load[cool_id], 1e-9):
+            return None
+        hot_classes = sorted(
+            (c for c in rates if self.conflict_map.master_of_class(c) == hot_id),
+            key=lambda c: (-rates[c], c),
+        )
+        if not hot_classes:
+            return None
+        if len(hot_classes) > 1:
+            # Shed the second-hottest class: the hot master keeps its head
+            # of load, the destination picks up real (but smaller) work.
+            return hot_classes[1], cool_id
+        # One hot class owns the whole master: split it along atom
+        # boundaries and move the colder half.  A single-atom class is the
+        # floor (moving whole would just relocate the imbalance).
+        new_id = self.conflict_map.split_class(hot_classes[0])
+        if new_id is None:
+            return None
+        self.class_rates.migrate(hot_classes[0], new_id)
+        self.counters.add("sched.class_splits")
+        return new_id, cool_id
+
+    def _maybe_merge(self) -> None:
+        """Fold one cold class into a cold co-located sibling.
+
+        Classes start at atom granularity, so merging is what *creates*
+        multi-atom classes — and thereby the classes a later hot-spot
+        split can cut apart again.  Both candidates must be cold (below
+        ``rebalance_min_rate``) and share an owner, so a merge never moves
+        tables between masters and never couples a hot stream to anything.
+        """
+        cfg = self.cost.config
+        for absorb in sorted(self.conflict_map.class_ids(), reverse=True):
+            if self.class_rates.rate(absorb) >= cfg.rebalance_min_rate:
+                continue
+            owner = self.conflict_map.master_of_class(absorb)
+            siblings = [
+                c
+                for c in self.conflict_map.class_ids()
+                if c != absorb
+                and self.conflict_map.master_of_class(c) == owner
+                and self.class_rates.rate(c) < cfg.rebalance_min_rate
+            ]
+            if not siblings:
+                continue
+            self.conflict_map.merge_classes(min(siblings), absorb)
+            self.class_rates.forget(absorb)
+            self.counters.add("sched.class_merges")
+            return
+
+    def rehome_class_to(self, class_id: int, dst_id: str):
+        """Spawn a re-home of ``class_id`` onto ``dst_id`` (chaos hook)."""
+        return self.sim.spawn(
+            self._rehome_class(class_id, dst_id), name=f"rehome-{class_id}"
+        )
+
+    def rehome_table_to(self, table: str, dst_id: str):
+        """Spawn a re-home of ``table``'s class onto ``dst_id`` (chaos hook)."""
+        return self.rehome_class_to(self.conflict_map.class_of(table), dst_id)
+
+    def _class_quiescent(self, node: InMemoryDbNode, tables: set) -> bool:
+        """No in-flight update on ``node`` touches ``tables``."""
+        for txn in node.engine.active_transactions():
+            if txn.mode is not TxnMode.UPDATE:
+                continue
+            if (set(txn.write_intent) | set(txn.tables_written)) & tables:
+                return False
+        epoch = self._epochs.get(node.node_id)
+        if epoch is not None and not epoch.sealed and epoch.members:
+            return False
+        return True
+
+    def _class_caught_up(self, src: InMemoryDbNode, dst: InMemoryDbNode, tables) -> bool:
+        """``dst`` has received every write-set for ``tables`` that ``src``
+        (their current master) ever published."""
+        for table in tables:
+            if dst.slave.received_versions.get(table) < src.engine.versions.get(table):
+                return False
+        return True
+
+    def _rehome_class(self, class_id: int, dst_id: str):
+        """Drain-barrier handoff of one conflict class to a new master.
+
+        State machine (DESIGN.md §13): PARK new updates for the class →
+        DRAIN in-flight transactions, the open epoch and the replication
+        channels → ADOPT on the destination (apply buffered ops, continue
+        the version sequences) → FLIP ownership atomically (conflict map
+        epoch bump + dual-controller owned sets + scheduler table) → WAKE
+        parked updates.  Every abort path leaves ownership untouched and
+        wakes the parked updates, so a master kill mid-handoff degrades to
+        the ordinary failover path.
+        """
+        cfg = self.cost.config
+        try:
+            src_id = self.conflict_map.master_of_class(class_id)
+        except ConfigError:
+            return
+        if src_id == dst_id or class_id in self._rehoming_classes:
+            return
+        src = self.nodes.get(src_id)
+        dst = self.nodes.get(dst_id)
+        if (
+            src is None
+            or dst is None
+            or not src.alive
+            or not dst.alive
+            or not isinstance(src.engine.controller, DualController)
+            or dst.master is None
+            or dst.slave is None
+            or not isinstance(dst.engine.controller, DualController)
+        ):
+            self.counters.add("sched.rehome_aborts")
+            return
+        tables = set(self.conflict_map.tables_of_class(class_id))
+        span = self.tracer.span(
+            "rehome", kind="rehome", conflict_class=class_id, src=src_id, dst=dst_id
+        )
+        self._rehoming_classes.add(class_id)
+        flipped = False
+        try:
+            deadline = self.sim.now() + cfg.rehome_drain_timeout
+            while True:
+                if not src.alive or not dst.alive or self._reconfiguring:
+                    self.counters.add("sched.rehome_aborts")
+                    return
+                if self._class_quiescent(src, tables) and self._class_caught_up(
+                    src, dst, tables
+                ):
+                    break
+                if self.sim.now() >= deadline:
+                    self.counters.add("sched.rehome_aborts")
+                    return
+                yield self.sim.timeout(cfg.laggard_probe_interval / 100.0)
+            # Handoff cost: coordination overhead + per-table adoption +
+            # applying whatever the destination still has buffered.
+            pending = dst.slave.pending_op_count()
+            yield self.sim.timeout(self.cost.rehome_cost(len(tables), pending))
+            if not src.alive or not dst.alive or self._reconfiguring:
+                self.counters.add("sched.rehome_aborts")
+                return
+            # -- atomic flip: no yields from here on ---------------------------
+            latest = VersionVector(
+                {t: src.engine.versions.get(t) for t in sorted(tables)}
+            )
+            # Materialise the destination's buffered prefix up to the
+            # confirmed frontier (the moved tables are quiescent, so their
+            # entire history is confirmed); unconfirmed ops of *other*
+            # masters' in-flight commits stay queued.
+            target = self._confirmed_vector()
+            target.merge(latest)
+            dst.slave.drain_to(target)
+            for table in sorted(tables):
+                version = latest.get(table)
+                if dst.engine.versions.get(table) < version:
+                    dst.engine.versions.set(table, version)
+            # The old owner becomes an ordinary reader of the moved tables;
+            # its pages are already at the final versions (it wrote them).
+            src.slave.received_versions.merge(latest)
+            src.engine.controller.owned -= tables
+            dst.engine.controller.owned |= tables
+            self.conflict_map.rehome_class(class_id, dst_id)
+            for agent in self._alive_scheduler_agents():
+                agent.scheduler.on_class_rehome(class_id, dst_id)
+            self.counters.add("sched.class_rehomes")
+            flipped = True
+        finally:
+            self._rehoming_classes.discard(class_id)
+            self._wake_update_waiters()
+            span.finish(status="flipped" if flipped else "aborted")
 
     def _ack_barrier(self, acks):
         """Wait out the pre-commit acks according to the ack policy.
@@ -1858,6 +2396,7 @@ class SimDmvCluster:
         max_retries: int = 8,
     ) -> None:
         sequences = sequences if sequences is not None else SharedSequences(scale)
+        self._browser_profile = (mix, scale, sequences, think_time_mean, max_retries)
         base = len(self._browsers)
         for i in range(count):
             browser = EmulatedBrowser(
@@ -1871,6 +2410,21 @@ class SimDmvCluster:
             )
             self._browsers.append(browser)
             self.sim.spawn(self._browser_loop(browser, max_retries), name=f"eb{base + i}")
+
+    def flash_crowd(self, count: int) -> None:
+        """Add ``count`` browsers mid-run with the last started profile.
+
+        Chaos hook for flash write load: the extra browsers share the
+        original pool's mix, scale and shared sequences, and exit with
+        everyone else at :meth:`stop_browsers`.
+        """
+        if self._browser_profile is None:
+            raise RuntimeError("flash_crowd before start_browsers")
+        mix, scale, sequences, think, retries = self._browser_profile
+        self.start_browsers(
+            count, mix, scale, sequences=sequences,
+            think_time_mean=think, max_retries=retries,
+        )
 
     def stop_browsers(self) -> None:
         """Ask every browser loop to exit at its next interaction boundary.

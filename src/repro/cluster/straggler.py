@@ -49,6 +49,55 @@ class AckLatencyEwma:
         return self.value
 
 
+class ClassWriteRates:
+    """Per-conflict-class commit-rate EWMAs for the rebalancer.
+
+    The rebalancer daemon samples per-class commit counts on a fixed
+    period and feeds the rates through the same EWMA machinery the
+    laggard detector uses for ack latencies.  Pure bookkeeping — no
+    events, no RNG, no counters — so instantiating it never perturbs a
+    seeded run; only the cluster's *reaction* (a re-home) touches the
+    kernel, and that is gated on ``dynamic_classes``.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self.alpha = alpha
+        #: Per-class commits/second EWMA.
+        self.per_class: Dict[int, AckLatencyEwma] = {}
+
+    def observe_tick(self, counts: Dict[int, int], interval: float) -> None:
+        """Fold one sampling period's per-class commit counts into the EWMAs."""
+        if interval <= 0:
+            return
+        for class_id in set(self.per_class) | set(counts):
+            ewma = self.per_class.get(class_id)
+            if ewma is None:
+                ewma = self.per_class[class_id] = AckLatencyEwma(self.alpha)
+            ewma.observe(counts.get(class_id, 0) / interval)
+
+    def rate(self, class_id: int) -> float:
+        ewma = self.per_class.get(class_id)
+        return ewma.value if ewma is not None else 0.0
+
+    def forget(self, class_id: int) -> None:
+        """Drop a class's history (after a merge retired its id)."""
+        self.per_class.pop(class_id, None)
+
+    def migrate(self, old_id: int, new_id: int, fraction: float = 0.5) -> None:
+        """Seed a freshly split-off class with a share of its parent's rate.
+
+        Without this the child would start at rate 0 and the parent keep
+        the whole load for several sampling periods, re-triggering the
+        imbalance check against stale numbers.
+        """
+        parent = self.per_class.get(old_id)
+        if parent is None or parent.samples == 0:
+            return
+        child = self.per_class[new_id] = AckLatencyEwma(self.alpha)
+        child.observe(parent.value * fraction)
+        parent.value *= 1.0 - fraction
+
+
 class LaggardDetector:
     """Per-target straggler verdicts from channel backlog + ack latency."""
 

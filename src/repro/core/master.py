@@ -102,6 +102,68 @@ class MasterReplica:
         """Commit locally after all replicas acknowledged (releases locks)."""
         self.engine.finish_commit(txn)
 
+    # -- epoch-batched commit ------------------------------------------------------
+    def pre_commit_epoch(self, txn, epoch_versions):
+        """Join one commit epoch: per-txn OCC validation, shared versions.
+
+        Like :meth:`pre_commit`, but the version-vector advance is
+        amortized across the epoch: each written table's version is
+        incremented once per epoch (on the first member that writes it,
+        recorded in the caller-owned ``epoch_versions`` dict) and every
+        member writing that table commits at the shared epoch version.
+        Validation (``prepare_commit``) still runs per transaction, and
+        the member's locks are released immediately (early lock release):
+        OCC page stamps advance at write time, not commit time, so a later
+        reader validates against the already-stamped pages, and an
+        unpublished epoch dies only with the whole master — taking every
+        dependent local commit with it, exactly like a mid-broadcast
+        master crash on the legacy path.
+
+        Returns ``(ops, commit_versions)``; ``ops`` is ``None`` for an
+        empty write-set (the txn committed locally, nothing to publish).
+        """
+        ops = self.engine.prepare_commit(txn)
+        if not ops:
+            self.engine.stamp_commit(txn, {})
+            self.engine.finish_commit(txn)
+            return None, {}
+        fresh = [t for t in txn.tables_written if t not in epoch_versions]
+        if fresh:
+            self.engine.versions.increment(fresh)
+            for table in fresh:
+                epoch_versions[table] = self.engine.versions.get(table)
+        commit_versions: Dict[str, int] = {
+            table: epoch_versions[table] for table in txn.tables_written
+        }
+        self.engine.stamp_commit(txn, commit_versions)
+        self.counters.add("engine.epoch_batched_commits")
+        span = getattr(txn, "obs_span", None)
+        if span is not None and span.recording:
+            pages = sorted({op.page_id for op in ops})
+            span.annotate(
+                versions=dict(commit_versions),
+                pages=pages[:32],
+                page_count=len(pages),
+                epoch_member=True,
+            )
+        self.engine.finish_commit(txn)
+        return ops, commit_versions
+
+    def seal_epoch(self, txn_id, ops, epoch_versions, members: int) -> WriteSet:
+        """Close one epoch into a single write-set: one seq, one broadcast.
+
+        ``ops`` is the concatenation of every member's ops in commit
+        (lock-grant) order, so slave-side last-writer-wins coalescing
+        applies them exactly as the master serialized them.
+        """
+        self.counters.add("engine.epochs")
+        self.counters.add("master.write_sets")
+        self.counters.add("master.ops_replicated", len(ops))
+        self.broadcast_seq += 1
+        return WriteSet(
+            self.node_id, txn_id, tuple(ops), dict(epoch_versions), seq=self.broadcast_seq
+        )
+
     def abort(self, txn: Transaction, reason: str = "abort") -> None:
         self.engine.abort(txn, reason=reason)
 

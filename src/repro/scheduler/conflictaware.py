@@ -52,6 +52,16 @@ class ConflictAwareScheduler:
     def passive_replicas(self) -> List[DiskReplicaState]:
         return [r for r in self.replicas.values() if r.passive]
 
+    @property
+    def routing_epoch(self) -> int:
+        """API parity with ``VersionAwareScheduler.routing_epoch``.
+
+        The on-disk baseline routes every update to every active replica
+        (write-all, one total order), so its routing table never changes
+        shape: the epoch is constant 0.
+        """
+        return 0
+
     # -- routing -----------------------------------------------------------------
     def route_read(self) -> NodeId:
         candidates = self.active_replicas()

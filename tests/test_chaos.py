@@ -231,6 +231,7 @@ class TestInvariants:
             "buffer-bounds",
             "rejoin-convergence",
             "quorum-no-lost-commits",
+            "class-ownership-unique",
         ]
         assert all(r.ok for r in results), [str(r) for r in results]
 
@@ -334,3 +335,58 @@ class TestChaosScenario:
         assert report.counters.get("net.dups_ignored", 0) > 0
         assert report.completed > 100
         assert all(inv.ok for inv in report.invariants)
+
+
+class TestWriteScaleoutPlan:
+    """The ``write-scaleout`` plan: flash load + forced re-homes + master kill."""
+
+    @staticmethod
+    def _run(seed=7, duration=80.0):
+        from dataclasses import replace
+
+        from repro.chaos import write_scaleout_chaos_plan
+        from repro.cluster.costs import CostConfig
+        from repro.tpcw import tpcw_conflict_map
+
+        cost = replace(
+            CostConfig(),
+            update_mpl=4,
+            epoch_max_txns=4,
+            epoch_ms=5.0,
+            dynamic_classes=True,
+            rebalance_interval=5.0,
+        )
+        return run_chaos_scenario(
+            seed=seed,
+            plan=write_scaleout_chaos_plan(seed, duration),
+            duration=duration,
+            settle=20.0,
+            browsers=8,
+            cost_config=cost,
+            multi_master=True,
+            num_masters=2,
+            conflict_map=tpcw_conflict_map(multi_master=True),
+        )
+
+    def test_plan_survives_rehomes_and_master_kill(self):
+        report = self._run()
+        assert report.ok(), report.summary()
+        # Both forced handoffs ran (failover/organic moves may add more)
+        # and none aborted into the failure path.
+        assert report.counters.get("sched.class_rehomes", 0) >= 2
+        assert report.counters.get("sched.rehome_aborts", 0) == 0
+        # Epoch batching was live on the masters.
+        assert report.counters.get("engine.epochs", 0) > 0
+        assert (
+            report.counters["engine.epoch_batched_commits"]
+            >= report.counters["engine.epochs"]
+        )
+        # The ownership audit actually had dual controllers to inspect.
+        ownership = {r.name: r for r in report.invariants}["class-ownership-unique"]
+        assert ownership.ok and "controller-owned" in ownership.detail
+
+    def test_plan_is_seed_deterministic(self):
+        runs = [self._run(seed=3, duration=60.0) for _ in range(2)]
+        assert runs[0].fingerprint == runs[1].fingerprint
+        assert runs[0].counters == runs[1].counters
+        assert runs[0].ok(), runs[0].summary()

@@ -1,0 +1,117 @@
+"""Epoch-batched version-vector commit: batching, liveness, admission.
+
+``epoch_max_txns > 1`` lets N update commits on a master share one
+version-vector advance, one WAL force and one broadcast/ack barrier.
+These tests pin the observable contract:
+
+* under load, epochs actually batch (``engine.epoch_batched_commits``
+  strictly exceeds ``engine.epochs``) and every batched commit is still
+  durable, converged and conserved;
+* under trickle load, the ``epoch_ms`` timer seals part-filled epochs so
+  no commit ever hangs waiting for co-members that never arrive;
+* ``update_mpl`` admission keeps the per-master update multiprogramming
+  level at or below the configured bound throughout the run;
+* the legacy configuration (``epoch_max_txns == 1``) never touches the
+  epoch machinery at all.
+"""
+
+from dataclasses import replace
+
+from repro.chaos.invariants import check_all_invariants
+from repro.cluster.costs import CostConfig
+from repro.cluster.simcluster import SimDmvCluster
+from repro.tpcw import MIXES, TPCW_SCHEMAS, TpcwDataGenerator, TpcwScale
+
+SCALE = TpcwScale(num_items=40, num_customers=96)
+SEED = 11
+
+EPOCH_COST = replace(
+    CostConfig(),
+    update_mpl=4,
+    epoch_max_txns=4,
+    epoch_ms=5.0,
+)
+
+
+def _make_cluster(cost, num_slaves=2, seed=SEED):
+    cluster = SimDmvCluster(
+        TPCW_SCHEMAS, num_slaves=num_slaves, cost_config=cost, seed=seed
+    )
+    cluster.load(TpcwDataGenerator(SCALE, seed=seed))
+    cluster.warm_all_caches()
+    return cluster
+
+
+def _epoch_totals(cluster):
+    epochs = batched = 0
+    for node in cluster.nodes.values():
+        snap = node.counters.snapshot()
+        epochs += snap.get("engine.epochs", 0)
+        batched += snap.get("engine.epoch_batched_commits", 0)
+    return epochs, batched
+
+
+def _quiesce_and_check(cluster):
+    cluster.stop_browsers()
+    cluster.run(until=cluster.sim.now() + 10.0)
+    results = {r.name: r for r in check_all_invariants(cluster)}
+    for name in (
+        "durable-commits",
+        "replica-convergence",
+        "snapshot-consistency",
+        "counter-conservation",
+    ):
+        assert results[name].ok, str(results[name])
+
+
+class TestEpochBatching:
+    def test_loaded_epochs_batch_multiple_commits(self):
+        cluster = _make_cluster(EPOCH_COST)
+        cluster.start_browsers(32, MIXES["ordering"], SCALE, think_time_mean=0.2)
+        cluster.run(until=20.0)
+        epochs, batched = _epoch_totals(cluster)
+        assert epochs > 0
+        # Batching is real: strictly more commits than epochs, i.e. the
+        # average epoch carried more than one member.
+        assert batched > epochs
+        assert batched <= epochs * EPOCH_COST.epoch_max_txns
+        assert len(cluster.commit_log) == batched
+        _quiesce_and_check(cluster)
+
+    def test_trickle_load_timer_seals_part_filled_epochs(self):
+        # One browser can never fill a 64-member epoch; only the epoch_ms
+        # timer stands between its commits and a hang.
+        cost = replace(EPOCH_COST, epoch_max_txns=64)
+        cluster = _make_cluster(cost)
+        cluster.start_browsers(1, MIXES["ordering"], SCALE, think_time_mean=0.2)
+        cluster.run(until=20.0)
+        epochs, batched = _epoch_totals(cluster)
+        assert batched > 0, "trickle commits hung waiting for epoch members"
+        assert epochs > 0
+        _quiesce_and_check(cluster)
+
+    def test_legacy_single_txn_epochs_bypass_machinery(self):
+        cluster = _make_cluster(CostConfig())
+        cluster.start_browsers(8, MIXES["ordering"], SCALE, think_time_mean=0.2)
+        cluster.run(until=15.0)
+        epochs, batched = _epoch_totals(cluster)
+        assert epochs == 0 and batched == 0
+        assert cluster._epochs == {}
+        assert len(cluster.commit_log) > 0
+        _quiesce_and_check(cluster)
+
+
+class TestAdmissionControl:
+    def test_update_mpl_bound_holds_throughout(self):
+        cluster = _make_cluster(EPOCH_COST)
+        cluster.start_browsers(32, MIXES["ordering"], SCALE, think_time_mean=0.2)
+        peak = 0
+        for step in range(1, 81):
+            cluster.run(until=step * 0.25)
+            for slot in cluster._update_slots.values():
+                assert slot.capacity == EPOCH_COST.update_mpl
+                assert slot.in_use <= slot.capacity
+                peak = max(peak, slot.in_use)
+        # The load was heavy enough that the bound actually bit.
+        assert peak == EPOCH_COST.update_mpl
+        _quiesce_and_check(cluster)
