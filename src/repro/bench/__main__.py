@@ -63,6 +63,26 @@ def main(argv=None) -> int:
         ">= X (the CI perf-smoke regression gate)",
     )
     parser.add_argument(
+        "--capacity-sweep",
+        action="store_true",
+        help="partial-replication capacity sweep (Fig. 3 shape): step the "
+        "per-slave resident-page budget down to a fraction of the dataset "
+        "and report throughput + invariant verdicts per point",
+    )
+    parser.add_argument(
+        "--capacity-out",
+        default="benchmarks/results/partial_capacity_sweep.json",
+        metavar="PATH",
+        help="result file for --capacity-sweep",
+    )
+    parser.add_argument(
+        "--budgets",
+        default=None,
+        metavar="N,N,...",
+        help="explicit per-slave page budgets for --capacity-sweep "
+        "('none' = uncapped); default derives a grid from the dataset size",
+    )
+    parser.add_argument(
         "--straggler-compare",
         action="store_true",
         help="run the (ack policy) x (straggler) commit-latency matrix and "
@@ -131,6 +151,54 @@ def main(argv=None) -> int:
     clients = args.clients if args.clients is not None else 30
     slaves = args.slaves if args.slaves is not None else 2
     duration = args.duration if args.duration is not None else 60.0
+
+    if args.capacity_sweep:
+        import json
+        import os
+
+        from repro.bench.capacity import run_capacity_sweep
+
+        budgets = None
+        if args.budgets:
+            budgets = [
+                None if tok.strip().lower() in ("none", "uncapped") else int(tok)
+                for tok in args.budgets.split(",")
+            ]
+        sweep = run_capacity_sweep(
+            budgets=budgets,
+            mix_name=mix,
+            clients=args.clients if args.clients is not None else 24,
+            duration=args.duration if args.duration is not None else 40.0,
+            seed=args.seed,
+        )
+        print(
+            f"partial-replication capacity sweep mix={sweep.mix} "
+            f"clients={sweep.clients} duration={sweep.duration:g}s "
+            f"seed={sweep.seed} dataset={sweep.dataset_pages} pages:"
+        )
+        print(sweep.table())
+        accept = sweep.acceptance_point
+        if accept is not None:
+            print(
+                f"acceptance: budget={accept.budget_pages} pages serves "
+                f"{accept.capacity_ratio:.1f}x its resident set "
+                f"(completed={accept.completed}, invariants "
+                f"{'OK' if accept.invariants_ok else 'FAIL'})"
+            )
+        os.makedirs(os.path.dirname(args.capacity_out) or ".", exist_ok=True)
+        with open(args.capacity_out, "w") as fh:
+            json.dump(sweep.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results -> {args.capacity_out}")
+        if not sweep.ok:
+            for point in sweep.points:
+                for failure in point.invariant_failures:
+                    print(f"FAIL [budget={point.budget_pages}]: {failure}")
+            return 1
+        if accept is None:
+            print("FAIL: no measured point had dataset >= 2x the slave budget")
+            return 1
+        return 0
 
     if args.straggler_compare:
         import os

@@ -40,6 +40,7 @@ from repro.chaos.invariants import (
     check_counter_conservation,
     check_durable_commits,
     check_durable_prefix,
+    check_interest_coverage,
     check_no_ghost_commits,
     check_quorum_durability,
     check_rejoin_convergence,
@@ -51,6 +52,8 @@ from repro.chaos.scenario import (
     ChaosReport,
     default_chaos_plan,
     durability_chaos_plan,
+    partial_chaos_plan,
+    partial_interest_sets,
     run_chaos_scenario,
     straggler_chaos_plan,
     write_scaleout_chaos_plan,
@@ -81,6 +84,7 @@ __all__ = [
     "check_counter_conservation",
     "check_durable_commits",
     "check_durable_prefix",
+    "check_interest_coverage",
     "check_no_ghost_commits",
     "check_quorum_durability",
     "check_rejoin_convergence",
@@ -88,6 +92,8 @@ __all__ = [
     "check_snapshot_consistency",
     "default_chaos_plan",
     "durability_chaos_plan",
+    "partial_chaos_plan",
+    "partial_interest_sets",
     "run_chaos_scenario",
     "straggler_chaos_plan",
     "write_scaleout_chaos_plan",

@@ -13,6 +13,8 @@ import sys
 from repro.chaos.scenario import (
     default_chaos_plan,
     durability_chaos_plan,
+    partial_chaos_plan,
+    partial_interest_sets,
     run_chaos_scenario,
     straggler_chaos_plan,
     write_scaleout_chaos_plan,
@@ -29,13 +31,36 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
     parser.add_argument(
         "--plan",
-        choices=("default", "straggler", "durability", "write-scaleout"),
+        choices=("default", "straggler", "durability", "write-scaleout", "partial"),
         default="default",
         help="fault plan: 'default' (loss + partition + master crash), "
         "'straggler' (lossy fabric + one slow-but-alive slave), "
-        "'durability' (durable WAL, storage faults, restart-from-own-disk) "
-        "or 'write-scaleout' (two masters, flash write load, forced class "
-        "re-homes, master kill during handoff)",
+        "'durability' (durable WAL, storage faults, restart-from-own-disk), "
+        "'write-scaleout' (two masters, flash write load, forced class "
+        "re-homes, master kill during handoff) or 'partial' (interest-set "
+        "partial replication + hot/cold tiering, crash of a range's sole "
+        "extra replica)",
+    )
+    parser.add_argument(
+        "--interest",
+        default=None,
+        metavar="SPEC",
+        help="interest-set spec 'node=t1,t2;node=*' (partial replication; "
+        "--plan partial supplies its canonical assignment when omitted)",
+    )
+    parser.add_argument(
+        "--min-replication-factor",
+        type=int,
+        default=None,
+        help="alive covering nodes required per table by the "
+        "interest-coverage invariant (default: 1; --plan partial: 2)",
+    )
+    parser.add_argument(
+        "--slave-cache-pages",
+        type=int,
+        default=None,
+        help="resident-page budget per slave (hot/cold tiering; subscribed "
+        "but cold pages spill and re-fault; --plan partial: 16)",
     )
     parser.add_argument(
         "--ack-policy",
@@ -87,11 +112,13 @@ def main(argv=None) -> int:
         "straggler": straggler_chaos_plan,
         "durability": durability_chaos_plan,
         "write-scaleout": write_scaleout_chaos_plan,
+        "partial": partial_chaos_plan,
     }[args.plan]
     from repro.cluster.costs import CostConfig
 
     durable = args.plan == "durability"
     scaleout = args.plan == "write-scaleout"
+    partial = args.plan == "partial"
     multi_master_kwargs = {}
     if scaleout:
         from repro.tpcw.schema import tpcw_conflict_map
@@ -101,6 +128,22 @@ def main(argv=None) -> int:
             num_masters=2,
             conflict_map=tpcw_conflict_map(multi_master=True),
         )
+    interest_sets = None
+    if args.interest:
+        from repro.cluster.interest import parse_interest_spec
+
+        interest_sets = parse_interest_spec(args.interest)
+    elif partial:
+        interest_sets = partial_interest_sets()
+    min_rf = args.min_replication_factor
+    if min_rf is None:
+        min_rf = 2 if partial else 1
+    slave_cache_pages = args.slave_cache_pages
+    if slave_cache_pages is None and partial:
+        # Tighter than the ~35-page TPC-W base image: the aggregate
+        # dataset exceeds 2x one slave's budget, so subscribed-but-cold
+        # pages must spill and re-fault (the tiering model under test).
+        slave_cache_pages = 16
     report = run_chaos_scenario(
         seed=args.seed,
         plan=plan_builder(args.seed, args.duration),
@@ -120,6 +163,9 @@ def main(argv=None) -> int:
             rebalance_interval=5.0 if scaleout else 0.0,
         ),
         checkpoint_period=args.duration / 10.0 if durable else 0.0,
+        interest_sets=interest_sets,
+        min_replication_factor=min_rf,
+        slave_cache_pages=slave_cache_pages,
         **multi_master_kwargs,
     )
     print(report.summary())

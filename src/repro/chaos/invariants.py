@@ -58,6 +58,20 @@ def _checked_nodes(cluster) -> List:
     ]
 
 
+def _covers(cluster, node, table: str) -> bool:
+    """Does ``node`` carry replication obligations for ``table``?
+
+    Full replication (no interest registry, or an all-full one) covers
+    everything; under partial replication a pure slave is only obliged to
+    hold tables inside its interest set.  Masters always cover — they
+    execute the updates themselves.
+    """
+    registry = getattr(cluster, "interest", None)
+    if registry is None or node.master is not None:
+        return True
+    return registry.covers_table(node.node_id, table)
+
+
 def _table_watermark(node, table: str) -> int:
     """Highest version of ``table`` this node is known to hold.
 
@@ -84,6 +98,8 @@ def check_durable_commits(cluster) -> InvariantResult:
     for master_id, txn_id, versions in cluster.commit_log:
         for node in nodes:
             for table, version in versions.items():
+                if not _covers(cluster, node, table):
+                    continue
                 have = _table_watermark(node, table)
                 if have < version:
                     missing.append(
@@ -108,7 +124,11 @@ def check_replica_convergence(cluster) -> InvariantResult:
     tables = sorted({schema.name for schema in cluster.schemas})
     diverged: List[str] = []
     for table in tables:
-        marks = {node.node_id: _table_watermark(node, table) for node in nodes}
+        # Partial replication: only the replicas subscribed to a table owe
+        # convergence on it — an uncovering replica legitimately sits at
+        # the version-0 base image forever.
+        group = [node for node in nodes if _covers(cluster, node, table)]
+        marks = {node.node_id: _table_watermark(node, table) for node in group}
         if len(set(marks.values())) > 1:
             diverged.append(f"{table}: {marks}")
     if diverged:
@@ -148,7 +168,8 @@ def check_snapshot_consistency(
     )
     mismatched: List[str] = []
     for table in tables:
-        digests = {node.node_id: _table_digest(node, table) for node in nodes}
+        group = [node for node in nodes if _covers(cluster, node, table)]
+        digests = {node.node_id: _table_digest(node, table) for node in group}
         if len(set(digests.values())) > 1:
             mismatched.append(f"{table}: {digests}")
     if mismatched:
@@ -372,6 +393,8 @@ def check_durable_prefix(cluster) -> InvariantResult:
             continue  # re-crashed or still recovering: excused
         audited += 1
         for table, version in sorted(confirmed.items()):
+            if not _covers(cluster, node, table):
+                continue
             have = _table_watermark(node, table)
             if have < version:
                 problems.append(
@@ -491,6 +514,86 @@ def check_class_ownership_unique(cluster) -> InvariantResult:
     )
 
 
+def check_interest_coverage(cluster) -> InvariantResult:
+    """Partial replication kept every table covered and nothing leaked.
+
+    Two properties, post-quiescence:
+
+    * **coverage** — every table is held by at least
+      ``min_replication_factor`` alive nodes, where a holder is an alive
+      master or an alive, subscribed, caught-up slave whose interest set
+      covers the table;
+    * **no leaks** — no pure slave holds *confirmed* state for a table
+      outside its interest set: no received version above zero, no page
+      above the version-0 base image, no buffered ops.  (Every node starts
+      from the full base image — the "mmap an on-disk database" model —
+      so the base itself is not a leak; only replicated modifications
+      are.)
+    """
+    name = "interest-coverage"
+    registry = getattr(cluster, "interest", None)
+    if registry is None or not registry.partial_active:
+        return InvariantResult(name, True, "full replication (no interest sets)")
+    min_rf = getattr(cluster, "min_replication_factor", 1)
+    tables = sorted({schema.name for schema in cluster.schemas})
+    problems: List[str] = []
+    thin = 0
+    for table in tables:
+        holders = []
+        for node in cluster.nodes.values():
+            if not node.alive:
+                continue
+            if node.master is not None:
+                holders.append(node.node_id)
+            elif (
+                node.slave is not None
+                and node.subscribed
+                and not node.slave.catching_up
+                and registry.covers_table(node.node_id, table)
+            ):
+                holders.append(node.node_id)
+        if len(holders) < min_rf:
+            thin += 1
+            problems.append(
+                f"{table}: {len(holders)} holder(s) {sorted(holders)} < rf {min_rf}"
+            )
+    leaks = 0
+    for node in cluster.nodes.values():
+        if not node.alive or node.slave is None or node.master is not None:
+            continue
+        interest = registry.get(node.node_id)
+        if interest.is_full:
+            continue
+        for table in tables:
+            if interest.covers_table(table):
+                continue
+            received = node.slave.received_versions.get(table)
+            if received > 0:
+                leaks += 1
+                problems.append(
+                    f"{node.node_id}: received {table}=v{received} outside interest"
+                )
+        for page_id, version in sorted(
+            node.slave.page_versions().items(), key=lambda kv: str(kv[0])
+        ):
+            if version > 0 and not interest.covers_table(page_id.table):
+                leaks += 1
+                problems.append(
+                    f"{node.node_id}: holds {page_id}=v{version} outside interest"
+                )
+    if problems:
+        shown = "; ".join(problems[:5])
+        extra = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        return InvariantResult(name, False, f"{shown}{extra}")
+    partial_nodes = len(registry.as_dict())
+    return InvariantResult(
+        name,
+        True,
+        f"{len(tables)} tables covered at rf>={min_rf}, "
+        f"{partial_nodes} partial replica(s) leak-free",
+    )
+
+
 def check_all_invariants(
     cluster, sample_tables: Optional[Sequence[str]] = None
 ) -> List[InvariantResult]:
@@ -513,6 +616,9 @@ def check_all_invariants(
     if getattr(cluster, "durability_active", False):
         results.append(check_durable_prefix(cluster))
         results.append(check_no_ghost_commits(cluster))
+    registry = getattr(cluster, "interest", None)
+    if registry is not None and registry.partial_active:
+        results.append(check_interest_coverage(cluster))
     tracer = getattr(cluster, "tracer", None)
     if tracer is not None and tracer.enabled:
         results.append(check_trace_hygiene(cluster))

@@ -70,6 +70,14 @@ CHAOS_COUNTERS = (
     "sched.class_splits",
     "sched.class_merges",
     "sched.rehome_aborts",
+    # Partial replication + tiering counters: all zero on full-replication
+    # runs (interest filtering, coverage routing and resident-budget
+    # eviction only fire when configured on).
+    "net.bytes_saved_partial",
+    "net.write_sets_filtered",
+    "sched.coverage_rejects",
+    "sched.partial_master_fallbacks",
+    "cache.evictions",
 )
 
 
@@ -244,6 +252,52 @@ def write_scaleout_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPl
     )
 
 
+def partial_interest_sets() -> Dict[str, Optional[tuple]]:
+    """The partial plan's interest assignment over the 3 default slaves.
+
+    ``s0`` keeps full interest — the failover anchor and the migration
+    support every partial joiner can use.  ``s1`` subscribes to the hot
+    browse set only; ``s2`` additionally carries ``orders``/``order_line``,
+    making it the *sole extra replica* of that range among the slaves
+    (``s0`` aside): crashing it drops the range to its minimum factor.
+    ``None`` means full interest.
+    """
+    return {
+        "s0": None,
+        "s1": ("item", "author", "customer"),
+        "s2": ("item", "author", "customer", "orders", "order_line"),
+    }
+
+
+def partial_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """Partial-replication soak: lossy fabric + crash of a range's sole
+    extra replica.
+
+    Requires a cluster built with :func:`partial_interest_sets` (the
+    ``--plan partial`` CLI wiring) and ``min_replication_factor=2``:
+
+    * 2 % drop + 0.5 % duplication fabric-wide (cleared at 75 % so
+      retransmissions drain before quiescence);
+    * ``s2`` — the only slave besides the full-interest anchor ``s0``
+      subscribed to ``orders``/``order_line`` — crashes at 30 %, dropping
+      that range to its minimum replication factor (anchor + master);
+      coverage routing must shed ``s1`` for order-touching reads and keep
+      serving from ``s0`` or the master;
+    * ``s2`` reintegrates at 60 % via interest-scoped migration (only its
+      subscribed pages move) — well before quiescence, so the
+      ``interest-coverage`` audit sees it caught up and leak-free.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=t(0.75)),
+            CrashNode(at=t(0.3), node_id="s2"),
+            ReintegrateNode(at=t(0.6), node_id="s2"),
+        ),
+    )
+
+
 def run_chaos_scenario(
     seed: int = 0,
     plan: Optional[FaultPlan] = None,
@@ -263,6 +317,9 @@ def run_chaos_scenario(
     multi_master: bool = False,
     num_masters: Optional[int] = None,
     conflict_map=None,
+    interest_sets: Optional[Dict[str, Optional[tuple]]] = None,
+    min_replication_factor: int = 1,
+    slave_cache_pages: Optional[int] = None,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
@@ -294,6 +351,9 @@ def run_chaos_scenario(
         multi_master=multi_master,
         num_masters=num_masters,
         conflict_map=conflict_map,
+        interest_sets=interest_sets,
+        min_replication_factor=min_replication_factor,
+        slave_cache_pages=slave_cache_pages,
     )
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()

@@ -17,6 +17,7 @@ from repro.common.errors import ConfigError, NodeUnavailable, TransactionAborted
 from repro.common.rng import RngStream
 from repro.common.versions import VersionVector
 from repro.cluster.costs import CostConfig, CostModel
+from repro.cluster.interest import InterestRegistry, InterestSet
 from repro.cluster.simnodes import DiskDbNode, InMemoryDbNode, SimNode
 from repro.cluster.straggler import ClassWriteRates, LaggardDetector
 from repro.core.conflictclass import ConflictClassMap
@@ -107,7 +108,13 @@ class SimConnection(Connection):
         node = self.cluster.node(routed.node_id)
         self._node = node
         self._is_update = False
-        self._txn = node.slave.begin_read_only(routed.tag)
+        if node.slave is not None:
+            self._txn = node.slave.begin_read_only(routed.tag)
+        else:
+            # Coverage fallback routed this read to a pure master (partial
+            # replication, no fresh covering slave): the master's engine
+            # is current by construction, so no version tag is needed.
+            self._txn = node.master.begin_read_only()
         if root.recording:
             self._txn.obs_span = root
             # The txn id exists only now; stamp it on the already-closed
@@ -628,6 +635,9 @@ class SimDmvCluster:
         trace_capacity: int = 1 << 16,
         ack_policy: str = "all",
         quorum_k: int = 1,
+        interest_sets: Optional[Dict[str, Optional[Sequence[str]]]] = None,
+        min_replication_factor: int = 1,
+        slave_cache_pages: Optional[int] = None,
     ) -> None:
         if ack_policy not in ("all", "quorum", "all-healthy"):
             raise ValueError(f"unknown ack policy {ack_policy!r}")
@@ -676,6 +686,9 @@ class SimDmvCluster:
         ]
         for agent in self.schedulers:
             agent.scheduler.tracer = self.tracer
+            # Partial-routing counters feed the cluster's fingerprinted
+            # set (they never fire under full replication).
+            agent.scheduler.partial_counters = self.counters
         self.nodes: Dict[str, InMemoryDbNode] = {}
         self.rows_per_page = rows_per_page
         for master_id in master_ids:
@@ -695,10 +708,34 @@ class SimDmvCluster:
                 master.make_master(self.cost.config.read_concurrency)
             self.nodes[master_id] = master
         self._spare_ids: set = set()
+        #: Interest registry (partial replication).  All-full — the default
+        #: — is indistinguishable from no registry: no filtering, no new
+        #: counters, no routing changes, bit-identical fingerprints.
+        self.interest = InterestRegistry()
+        self.min_replication_factor = max(1, min_replication_factor)
+        #: Resident-page budget for non-spare slaves (hot/cold tiering):
+        #: a slave may subscribe to more pages than it keeps hot; the cold
+        #: remainder spills through the LRU cache and is re-faulted from
+        #: the disk-tier model on access (``cache.evictions`` /
+        #: ``cache.misses`` + per-statement fault time).
+        self._slave_cache_pages = (
+            slave_cache_pages if slave_cache_pages is not None else cache_pages
+        )
         for i in range(num_slaves):
-            self._add_slave(f"s{i}", cache_pages, spare=False)
+            self._add_slave(f"s{i}", self._slave_cache_pages, spare=False)
         for i in range(num_spares):
             self._add_slave(f"spare{i}", cache_pages, spare=True)
+        if interest_sets:
+            for node_id, tables in interest_sets.items():
+                if node_id not in self.nodes:
+                    raise ConfigError(f"interest set for unknown node {node_id!r}")
+                if self.nodes[node_id].master is not None and tables is not None:
+                    raise ConfigError(f"master {node_id!r} must keep full interest")
+                iset = (
+                    InterestSet.full() if tables is None else InterestSet.of(*tables)
+                )
+                self.interest.declare(node_id, iset)
+            self._declare_interest_to_schedulers()
         self.metrics = Metrics()
         #: Per-(master, slave) outbound replication channels (group-commit
         #: batching + lossy-link retransmission).
@@ -809,6 +846,74 @@ class SimDmvCluster:
 
     def _alive_scheduler_agents(self) -> List[SchedulerAgent]:
         return [a for a in self.schedulers if a.alive]
+
+    # -- partial replication -------------------------------------------------------------
+    @property
+    def partial_active(self) -> bool:
+        return self.interest.partial_active
+
+    def _declare_interest_to_schedulers(self) -> None:
+        """Push every node's interest set to every scheduler agent."""
+        for node_id in self.nodes:
+            tables = self.interest.get(node_id).tables
+            for agent in self.schedulers:
+                agent.scheduler.set_interest(node_id, tables)
+
+    def _note_partial_freshness(self, sends) -> None:
+        """Mark acked write-set versions known-fresh on every scheduler.
+
+        Runs synchronously after the ack barrier, in the same event as the
+        scheduler's version-vector merge, so there is no window in which a
+        read tagged with the new versions could be routed to a slave whose
+        ack has not been recorded yet.  Targets that died or were demoted
+        during the barrier are skipped — their acks never arrived.
+        """
+        agents = self._alive_scheduler_agents()
+        for target, frame, _ack in sends:
+            if (
+                target.alive
+                and target.subscribed
+                and target.node_id not in self._demoted
+            ):
+                for agent in agents:
+                    agent.scheduler.note_slave_versions(target.node_id, frame.versions)
+
+    def _broadcast_write_set(self, source: InMemoryDbNode, write_set, parent_span=NULL_SPAN):
+        """Send one write-set to every subscribed slave, interest-filtered.
+
+        Returns ``(target, frame, ack)`` triples for the frames actually
+        sent.  With full replication (the default) every target gets the
+        original object — same iteration order, same channel calls, same
+        fingerprints as the historical inline loop.  Under partial
+        replication each frame is restricted to the target's interest:
+        fully filtered frames are never sent at all, and the per-target
+        wire savings land under ``net.bytes_saved_partial``.
+        """
+        partial = self.interest.partial_active
+        sends = []
+        for target in self.nodes.values():
+            if (
+                target.node_id == source.node_id
+                or not target.alive
+                or target.slave is None
+                or not target.subscribed
+            ):
+                continue
+            frame = write_set
+            if partial:
+                frame = self.interest.restrict(target.node_id, write_set)
+                if frame is None:
+                    target.counters.add("net.write_sets_filtered")
+                    target.counters.add("net.bytes_saved_partial", write_set.byte_size())
+                    continue
+                if frame is not write_set:
+                    target.counters.add(
+                        "net.bytes_saved_partial",
+                        write_set.byte_size() - frame.byte_size(),
+                    )
+            ack = self._channel(source.node_id, target).send(frame, parent_span=parent_span)
+            sends.append((target, frame, ack))
+        return sends
 
     def _replicate_scheduler_state(self, source: VersionAwareScheduler) -> None:
         """Replicate the version vector to peer schedulers (one-way delay).
@@ -1276,14 +1381,8 @@ class SimDmvCluster:
                     self._replay_log[write_set.dedup_key()] = write_set
                 elif self._replay_log:
                     self._replay_log.clear()
-                acks = [
-                    self._channel(node.node_id, target).send(write_set, parent_span=root)
-                    for target in self.nodes.values()
-                    if target.node_id != node.node_id
-                    and target.alive
-                    and target.slave is not None
-                    and target.subscribed
-                ]
+                sends = self._broadcast_write_set(node, write_set, parent_span=root)
+                acks = [ack for _target, _frame, ack in sends]
                 if self.straggler_active and self._demoted:
                     excluded = sum(
                         1
@@ -1315,6 +1414,8 @@ class SimDmvCluster:
                 # Scheduler-confirmed == fully replicated: this is the durable
                 # history the chaos durability invariant audits survivors for.
                 self.commit_log.append((node.node_id, txn.txn_id, dict(write_set.versions)))
+                if self.interest.partial_active:
+                    self._note_partial_freshness(sends)
                 self._replicate_scheduler_state(primary)
                 node.master.finalize(txn)
                 if self.rebalancer_active:
@@ -1465,14 +1566,8 @@ class SimDmvCluster:
                 self._replay_log[write_set.dedup_key()] = write_set
             elif self._replay_log:
                 self._replay_log.clear()
-            acks = [
-                self._channel(node.node_id, target).send(write_set)
-                for target in self.nodes.values()
-                if target.node_id != node.node_id
-                and target.alive
-                and target.slave is not None
-                and target.subscribed
-            ]
+            sends = self._broadcast_write_set(node, write_set)
+            acks = [ack for _target, _frame, ack in sends]
             if self.straggler_active and self._demoted:
                 excluded = sum(
                     1
@@ -1489,6 +1584,8 @@ class SimDmvCluster:
             for txn_id, versions, queries, _started in epoch.members:
                 primary.on_master_commit(node.node_id, versions, queries, txn_id)
                 self.commit_log.append((node.node_id, txn_id, dict(versions)))
+            if self.interest.partial_active:
+                self._note_partial_freshness(sends)
             self._replicate_scheduler_state(primary)
             if self.rebalancer_active:
                 self._note_class_commits(epoch.versions, len(epoch.members))
@@ -1960,6 +2057,16 @@ class SimDmvCluster:
             yield self.sim.timeout(self.cost.apply_cpu(dropped) + cfg.recovery_overhead)
             # Elect + promote the lowest-id active (non-spare) slave.
             pure_slaves = [n for n in survivors if n.master is None]
+            if self.interest.partial_active:
+                # Only a slave whose interest covers the failed master's
+                # tables can serve as its successor: a non-covering replica
+                # never received those tables' write-sets, so promoting it
+                # would resurrect the version-0 base as current state.
+                pure_slaves = [
+                    n
+                    for n in pure_slaves
+                    if self.interest.covers(n.node_id, failed_tables)
+                ]
             candidates = [
                 n.slave for n in pure_slaves if not self._is_spare(n.node_id) and n.subscribed
             ] or [n.slave for n in pure_slaves if n.subscribed]
@@ -2074,11 +2181,22 @@ class SimDmvCluster:
         path passes WAL-coverage versions so only the downtime gap moves.
         """
         cfg = self.cost.config
+        joiner_interest = self.interest.get(node.node_id)
         candidates = [
             n
             for n in self.nodes.values()
             if n.alive and n.slave is not None and n.subscribed and n.node_id != node.node_id
         ]
+        if self.interest.partial_active:
+            # Partial replication: only a support whose interest covers the
+            # joiner's can serve every page (and in-flight frame) the
+            # joiner subscribes to.  With none, fall through to the
+            # degenerate master-source branch — masters hold everything.
+            candidates = [
+                n
+                for n in candidates
+                if self.interest.get(n.node_id).superset_of(joiner_interest)
+            ]
         if self.straggler_active and candidates:
             # Quorum acks: a commit confirms with k slave acks, so an
             # arbitrary subscribed slave may still be missing confirmed
@@ -2105,7 +2223,9 @@ class SimDmvCluster:
             node.subscribed = True
             node.slave.catching_up = True
             images = [
-                page.snapshot() for page in master.engine.store.all_pages()
+                page.snapshot()
+                for page in master.engine.store.all_pages()
+                if joiner_interest.covers_table(page.page_id.table)
             ]
             from repro.storage.checkpoint import PageImage
 
@@ -2135,6 +2255,14 @@ class SimDmvCluster:
             for write_set in sorted(
                 self._replay_log.values(), key=lambda w: (w.master_id, w.seq)
             ):
+                # The replay log holds full frames; a partial joiner is
+                # replayed only the restriction to its own interest — the
+                # same frames the live broadcast would have sent it, so
+                # the dedup keys line up.  (Full interest — the default —
+                # returns the original object untouched.)
+                write_set = joiner_interest.restrict(write_set)
+                if write_set is None:
+                    continue
                 # Cheap pre-filters keep repeat rejoins from re-shipping
                 # the whole log: a frame the node has seen, or whose
                 # versions its (gap-free, by induction) state already
@@ -2172,6 +2300,11 @@ class SimDmvCluster:
             if target_id != support_node.node_id:
                 continue
             for write_set in channel.unacked_write_sets():
+                # In-flight frames were restricted for the *support*; a
+                # partial joiner takes only its own restriction of them.
+                write_set = joiner_interest.restrict(write_set)
+                if write_set is None:
+                    continue
                 if write_set.dedup_key() in replica._seen_write_sets:
                     continue
                 # A real transmission: count the send so counter
@@ -2179,7 +2312,14 @@ class SimDmvCluster:
                 node.counters.add("net.write_sets_sent")
                 replica.receive(write_set)
                 self.counters.add("slave.inflight_replayed")
-        stats = integrate_stale_node(node.slave, support_node.slave, wanted=wanted)
+        page_filter = (
+            None
+            if joiner_interest.is_full
+            else (lambda image: joiner_interest.covers_table(image.page_id.table))
+        )
+        stats = integrate_stale_node(
+            node.slave, support_node.slave, wanted=wanted, page_filter=page_filter
+        )
         work = stats.pages_sent + stats.ops_index_applied + replay_ops
         yield support_node.job(self._migration_cpu(support_node, work), "migrate-src")
         # Only the page images and replayed gap ops cross the wire here;

@@ -48,12 +48,20 @@ class MigrationStats:
 
 
 def integrate_stale_node(
-    joiner: SlaveReplica, support: SlaveReplica, wanted=None
+    joiner: SlaveReplica,
+    support: SlaveReplica,
+    wanted=None,
+    page_filter: Optional[Callable] = None,
 ) -> MigrationStats:
     """Steps 3-4: page transfer from ``support`` into ``joiner``.
 
     ``joiner`` must already be subscribed in catch-up mode (so every
     write-set committed after its version map was taken is buffered).
+
+    ``page_filter`` (image -> bool) scopes the transfer: a partial replica
+    passes its interest set so pages outside its subscription never ship —
+    it must end the migration holding no confirmed state it did not
+    subscribe to.
 
     ``wanted`` overrides the per-page versions the joiner advertises.  By
     default it advertises its *applied* page versions (checkpoint image),
@@ -69,6 +77,8 @@ def integrate_stale_node(
         wanted = joiner.engine.store.version_map()
     pending_before = joiner.pending_op_count()
     images = support.snapshot_pages_newer_than(wanted)
+    if page_filter is not None:
+        images = [image for image in images if page_filter(image)]
     for image in images:
         joiner.receive_page(image)
         stats.pages_sent += 1

@@ -1,0 +1,52 @@
+"""Legacy chaos fingerprints must survive the partial-replication change.
+
+Partial replication is opt-in: with no interest sets declared, every plan
+must reproduce its pre-change counter fingerprint bit-for-bit — same
+seeds, same counters, same hashes — and must emit none of the new
+partial-mode counters.  The hashes below were captured on the commit
+before the partial-replication subsystem landed; the two 200 sim-s runs
+are the CI chaos-smoke anchors, the 60 sim-s runs pin every other plan.
+"""
+
+import pytest
+
+from repro.chaos.__main__ import main as chaos_main
+
+# (cli args, pre-partial-replication fingerprint)
+BASELINES = {
+    "default-60s": ("--seed 7 --duration 60", "6bd64ef89cb69bd3"),
+    "straggler-60s": (
+        "--plan straggler --ack-policy quorum --seed 7 --duration 60",
+        "15f1d6a139adca16",
+    ),
+    "durability-60s": (
+        "--plan durability --seed 0 --duration 60",
+        "3f06ff527ac1998a",
+    ),
+    "write-scaleout-60s": (
+        "--plan write-scaleout --seed 7 --duration 60",
+        "2317579ec4ec277e",
+    ),
+    "occ-200s": ("--seed 7 --min-commits 500", "710e8a4ca4605d1d"),
+    "2pl-200s": (
+        "--seed 7 --min-commits 500 --read-concurrency 2pl",
+        "3d95b8f6d3679ce5",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_legacy_fingerprint_reproduced_bit_for_bit(name, capsys):
+    args, fingerprint = BASELINES[name]
+    rc = chaos_main(args.split() + ["--expect-fingerprint", fingerprint])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    # The partial-mode counters must not exist on a full-replication run
+    # (they would change the fingerprint the moment they were touched).
+    for counter in (
+        "net.bytes_saved_partial",
+        "net.write_sets_filtered",
+        "sched.coverage_rejects",
+        "sched.partial_master_fallbacks",
+    ):
+        assert f"{counter}=0" in out, f"{counter} fired on a legacy run"
