@@ -83,6 +83,26 @@ def main(argv=None) -> int:
         "('none' = uncapped); default derives a grid from the dataset size",
     )
     parser.add_argument(
+        "--overload-compare",
+        action="store_true",
+        help="run the flash-crowd metastability demo (defenses OFF vs ON on "
+        "the same seed and server shape) and gate on the OFF arm staying "
+        "SLO-degraded >= --min-degraded-ratio x longer than ON",
+    )
+    parser.add_argument(
+        "--overload-out",
+        default="benchmarks/results/BENCH_overload.json",
+        metavar="PATH",
+        help="result file for --overload-compare",
+    )
+    parser.add_argument(
+        "--min-degraded-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="with --overload-compare: required OFF/ON degraded-duration ratio",
+    )
+    parser.add_argument(
         "--straggler-compare",
         action="store_true",
         help="run the (ack policy) x (straggler) commit-latency matrix and "
@@ -199,6 +219,25 @@ def main(argv=None) -> int:
             print("FAIL: no measured point had dataset >= 2x the slave budget")
             return 1
         return 0
+
+    if args.overload_compare:
+        import json
+        import os
+
+        from repro.bench.overload import run_overload_comparison
+
+        comparison = run_overload_comparison(
+            seed=args.seed,
+            duration=args.duration if args.duration is not None else 200.0,
+            min_ratio=args.min_degraded_ratio,
+        )
+        print(comparison.summary())
+        os.makedirs(os.path.dirname(args.overload_out) or ".", exist_ok=True)
+        with open(args.overload_out, "w") as fh:
+            json.dump(comparison.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results -> {args.overload_out}")
+        return 0 if comparison.ok else 1
 
     if args.straggler_compare:
         import os

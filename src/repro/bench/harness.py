@@ -130,6 +130,12 @@ REPLICATION_COUNTERS = (
     "sched.class_splits",
     "sched.class_merges",
     "sched.rehome_aborts",
+    # Overload-robustness counters: zero unless admission control, request
+    # deadlines or retry budgets are configured on.
+    "sched.admission_rejects",
+    "sched.deadline_cancels",
+    "bench.retries_exhausted",
+    "traffic.retry_budget_exhausted",
 )
 
 

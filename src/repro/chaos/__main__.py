@@ -13,6 +13,7 @@ import sys
 from repro.chaos.scenario import (
     default_chaos_plan,
     durability_chaos_plan,
+    overload_chaos_plan,
     partial_chaos_plan,
     partial_interest_sets,
     run_chaos_scenario,
@@ -31,15 +32,19 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", default="ordering", help="TPC-W mix name")
     parser.add_argument(
         "--plan",
-        choices=("default", "straggler", "durability", "write-scaleout", "partial"),
+        choices=(
+            "default", "straggler", "durability", "write-scaleout", "partial",
+            "overload",
+        ),
         default="default",
         help="fault plan: 'default' (loss + partition + master crash), "
         "'straggler' (lossy fabric + one slow-but-alive slave), "
         "'durability' (durable WAL, storage faults, restart-from-own-disk), "
         "'write-scaleout' (two masters, flash write load, forced class "
-        "re-homes, master kill during handoff) or 'partial' (interest-set "
+        "re-homes, master kill during handoff), 'partial' (interest-set "
         "partial replication + hot/cold tiering, crash of a range's sole "
-        "extra replica)",
+        "extra replica) or 'overload' (open-loop flash-crowd traffic with "
+        "admission control, request deadlines and retry budgets on)",
     )
     parser.add_argument(
         "--interest",
@@ -113,12 +118,14 @@ def main(argv=None) -> int:
         "durability": durability_chaos_plan,
         "write-scaleout": write_scaleout_chaos_plan,
         "partial": partial_chaos_plan,
+        "overload": overload_chaos_plan,
     }[args.plan]
     from repro.cluster.costs import CostConfig
 
     durable = args.plan == "durability"
     scaleout = args.plan == "write-scaleout"
     partial = args.plan == "partial"
+    overload = args.plan == "overload"
     multi_master_kwargs = {}
     if scaleout:
         from repro.tpcw.schema import tpcw_conflict_map
@@ -144,6 +151,28 @@ def main(argv=None) -> int:
         # dataset exceeds 2x one slave's budget, so subscribed-but-cold
         # pages must spill and re-fault (the tiering model under test).
         slave_cache_pages = 16
+    traffic = None
+    if overload:
+        # Open-loop flash crowd with the full defense stack on, layered on
+        # the bounded-MPL + epoch-commit server shape; the OFF comparison
+        # lives in the bench harness (--overload-compare).
+        from repro.traffic.scenario import (
+            flash_crowd_scenario,
+            overload_defense_config,
+        )
+
+        traffic = flash_crowd_scenario(duration=args.duration, seed=args.seed)
+        cost_config = overload_defense_config(read_concurrency=args.read_concurrency)
+    else:
+        cost_config = CostConfig(
+            read_concurrency=args.read_concurrency,
+            durable_wal=durable,
+            update_mpl=4 if scaleout else 0,
+            epoch_max_txns=4 if scaleout else 1,
+            epoch_ms=5.0 if scaleout else 0.0,
+            dynamic_classes=scaleout,
+            rebalance_interval=5.0 if scaleout else 0.0,
+        )
     report = run_chaos_scenario(
         seed=args.seed,
         plan=plan_builder(args.seed, args.duration),
@@ -153,19 +182,12 @@ def main(argv=None) -> int:
         trace=args.trace,
         ack_policy=args.ack_policy,
         quorum_k=args.quorum_k,
-        cost_config=CostConfig(
-            read_concurrency=args.read_concurrency,
-            durable_wal=durable,
-            update_mpl=4 if scaleout else 0,
-            epoch_max_txns=4 if scaleout else 1,
-            epoch_ms=5.0 if scaleout else 0.0,
-            dynamic_classes=scaleout,
-            rebalance_interval=5.0 if scaleout else 0.0,
-        ),
+        cost_config=cost_config,
         checkpoint_period=args.duration / 10.0 if durable else 0.0,
         interest_sets=interest_sets,
         min_replication_factor=min_rf,
         slave_cache_pages=slave_cache_pages,
+        traffic=traffic,
         **multi_master_kwargs,
     )
     print(report.summary())

@@ -594,6 +594,149 @@ def check_interest_coverage(cluster) -> InvariantResult:
     )
 
 
+def check_tenant_slo_accounting(cluster) -> InvariantResult:
+    """Open-loop request accounting closes per tenant, and nothing is stuck.
+
+    For every tenant driven by the :class:`~repro.traffic.engine.OpenLoopEngine`:
+
+    * **accounting identity** — ``injected == completed + failed + shed +
+      in_flight`` (no request vanished or was double-counted on any of the
+      admission / deadline / retry-budget / breaker exit paths);
+    * **quiescence** — ``in_flight == 0``: every request reached a terminal
+      outcome before the audit (a non-zero count means a request process
+      wedged mid-retry).
+
+    SLO attainment is reported in the detail for observability; it is not
+    gated here — overload scenarios legitimately miss SLOs, the point is
+    that the accounting of *how* they missed is exact.
+    """
+    name = "per-tenant-slo"
+    stats = getattr(cluster, "traffic_stats", None)
+    if stats is None:
+        return InvariantResult(name, True, "no open-loop traffic")
+    problems: List[str] = []
+    details: List[str] = []
+    for tenant_name in sorted(stats.tenants):
+        tenant = stats.tenants[tenant_name]
+        if tenant.accounted() != tenant.injected:
+            problems.append(
+                f"{tenant_name}: injected={tenant.injected} but completed="
+                f"{tenant.completed}+failed={tenant.failed}+shed={tenant.shed}"
+                f"+in_flight={tenant.in_flight}={tenant.accounted()}"
+            )
+        if tenant.in_flight != 0:
+            problems.append(f"{tenant_name}: {tenant.in_flight} requests never terminal")
+        details.append(
+            f"{tenant_name}: slo={100.0 * tenant.slo_attainment():.1f}% "
+            f"shed={100.0 * tenant.shed_ratio():.1f}%"
+        )
+    if problems:
+        shown = "; ".join(problems[:5])
+        extra = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        return InvariantResult(name, False, f"{shown}{extra}")
+    return InvariantResult(name, True, "; ".join(details))
+
+
+def check_shed_fairness(cluster) -> InvariantResult:
+    """Shedding lands on the tenants causing the overload, not the victims.
+
+    With bursting (aggressor) tenants present, every non-bursting tenant's
+    shed ratio must stay within ``max(fairness_floor, fairness_ratio *
+    worst aggressor ratio)`` — the per-tenant token buckets exist exactly
+    so one tenant's flash crowd does not consume the others' admission
+    capacity.  Without aggressors the check degrades to a spread bound:
+    no tenant may shed more than 3x the worst other tenant plus the floor.
+    Tenants with fewer than 20 injected requests are skipped (ratios of
+    tiny denominators are noise).
+    """
+    name = "shed-fairness"
+    stats = getattr(cluster, "traffic_stats", None)
+    if stats is None:
+        return InvariantResult(name, True, "no open-loop traffic")
+    scenario = stats.scenario
+    aggressors = set(scenario.bursting_tenants())
+    sized = {
+        tenant_name: tenant
+        for tenant_name, tenant in stats.tenants.items()
+        if tenant.injected >= 20
+    }
+    if len(sized) < 2:
+        return InvariantResult(name, True, f"{len(sized)} sized tenant(s): trivially fair")
+    problems: List[str] = []
+    if aggressors & set(sized):
+        worst_aggressor = max(sized[tenant_name].shed_ratio() for tenant_name in sized if tenant_name in aggressors)
+        bound = max(scenario.fairness_floor, scenario.fairness_ratio * worst_aggressor)
+        for tenant_name in sorted(set(sized) - aggressors):
+            ratio = sized[tenant_name].shed_ratio()
+            if ratio > bound:
+                problems.append(
+                    f"victim {tenant_name} shed {100.0 * ratio:.1f}% > bound "
+                    f"{100.0 * bound:.1f}% (worst aggressor {100.0 * worst_aggressor:.1f}%)"
+                )
+        detail = (
+            f"aggressors={sorted(aggressors & set(sized))} worst="
+            f"{100.0 * worst_aggressor:.1f}%, victims within "
+            f"{100.0 * bound:.1f}%"
+        )
+    else:
+        ratios = {tenant_name: tenant.shed_ratio() for tenant_name, tenant in sized.items()}
+        for tenant_name in sorted(ratios):
+            others = [r for other, r in ratios.items() if other != tenant_name]
+            bound = scenario.fairness_floor + 3.0 * max(others)
+            if ratios[tenant_name] > bound:
+                problems.append(
+                    f"{tenant_name} shed {100.0 * ratios[tenant_name]:.1f}% > "
+                    f"3x-spread bound {100.0 * bound:.1f}%"
+                )
+        detail = f"no aggressors; spread over {len(sized)} tenants bounded"
+    if problems:
+        return InvariantResult(name, False, "; ".join(problems[:5]))
+    return InvariantResult(name, True, detail)
+
+
+def check_burst_recovery(cluster) -> InvariantResult:
+    """Goodput returned to within epsilon of pre-burst inside the window.
+
+    The metastability audit: after the scenario's last deliberate burst
+    ends, aggregate goodput must climb back to ``(1 - recovery_epsilon)``
+    of the pre-burst level within ``recovery_window`` seconds of virtual
+    time.  A cluster with the defenses off typically fails this — the
+    retry storm and bufferbloated admission queue outlive the burst —
+    which is exactly the red/green contrast the overload bench commits.
+    """
+    name = "burst-recovery"
+    stats = getattr(cluster, "traffic_stats", None)
+    if stats is None:
+        return InvariantResult(name, True, "no open-loop traffic")
+    recovery = stats.burst_recovery()
+    if recovery is None:
+        return InvariantResult(name, True, "scenario has no burst windows")
+    pre_rate, recovered_at, degraded = recovery
+    if pre_rate <= 0:
+        return InvariantResult(name, True, "no pre-burst goodput to recover to")
+    window = stats.scenario.recovery_window
+    if recovered_at is None:
+        return InvariantResult(
+            name,
+            False,
+            f"goodput never recovered to {100.0 * (1.0 - stats.scenario.recovery_epsilon):.0f}% "
+            f"of pre-burst {pre_rate:.2f}/s ({degraded:.1f}s degraded)",
+        )
+    if degraded > window:
+        return InvariantResult(
+            name,
+            False,
+            f"recovered after {degraded:.1f}s > window {window:g}s "
+            f"(pre-burst {pre_rate:.2f}/s)",
+        )
+    return InvariantResult(
+        name,
+        True,
+        f"recovered {degraded:.1f}s after burst end (pre-burst {pre_rate:.2f}/s, "
+        f"window {window:g}s)",
+    )
+
+
 def check_all_invariants(
     cluster, sample_tables: Optional[Sequence[str]] = None
 ) -> List[InvariantResult]:
@@ -619,6 +762,10 @@ def check_all_invariants(
     registry = getattr(cluster, "interest", None)
     if registry is not None and registry.partial_active:
         results.append(check_interest_coverage(cluster))
+    if getattr(cluster, "traffic_stats", None) is not None:
+        results.append(check_tenant_slo_accounting(cluster))
+        results.append(check_shed_fairness(cluster))
+        results.append(check_burst_recovery(cluster))
     tracer = getattr(cluster, "tracer", None)
     if tracer is not None and tracer.enabled:
         results.append(check_trace_hygiene(cluster))

@@ -78,6 +78,15 @@ CHAOS_COUNTERS = (
     "sched.coverage_rejects",
     "sched.partial_master_fallbacks",
     "cache.evictions",
+    # Overload-robustness counters: all zero unless admission control,
+    # request deadlines or retry budgets are configured on (or an
+    # open-loop traffic engine drives the cluster).
+    "sched.admission_rejects",
+    "sched.deadline_cancels",
+    "bench.retries_exhausted",
+    "traffic.requests_injected",
+    "traffic.retry_budget_exhausted",
+    "traffic.breaker_short_circuits",
 )
 
 
@@ -100,6 +109,9 @@ class ChaosReport:
     #: The cluster's tracer when the run had ``trace=True`` (else None);
     #: carries the span log for export and the per-stage histograms.
     tracer: Optional[object] = None
+    #: Per-tenant open-loop traffic stats when the run was driven by an
+    #: :class:`~repro.traffic.engine.OpenLoopEngine` (else None).
+    traffic: Optional[object] = None
 
     def ok(self) -> bool:
         return all(result.ok for result in self.invariants)
@@ -128,6 +140,9 @@ class ChaosReport:
             "chaos counters: "
             + " ".join(f"{name}={self.counters.get(name, 0):g}" for name in CHAOS_COUNTERS)
         )
+        if self.traffic is not None:
+            lines.append("open-loop traffic (per tenant):")
+            lines.append(self.traffic.table())
         lines.extend(str(result) for result in self.invariants)
         lines.append("invariants: " + ("ALL OK" if self.ok() else "FAILURES"))
         if self.tracer is not None:
@@ -269,6 +284,27 @@ def partial_interest_sets() -> Dict[str, Optional[tuple]]:
     }
 
 
+def overload_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
+    """Overload soak: mild fabric loss under an open-loop flash crowd.
+
+    The load itself comes from the traffic scenario (``--plan overload``
+    passes a :func:`repro.traffic.scenario.flash_crowd_scenario` to
+    ``run_chaos_scenario``) — the fault plan only keeps the network
+    machinery honest while the admission controller, deadlines and retry
+    budgets absorb the crowd:
+
+    * 2 % drop + 0.5 % duplication fabric-wide, cleared at 75 % so
+      retransmissions drain before the invariant audit.
+    """
+    t = lambda fraction: round(duration * fraction, 3)
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=t(0.75)),
+        ),
+    )
+
+
 def partial_chaos_plan(seed: int = 0, duration: float = 200.0) -> FaultPlan:
     """Partial-replication soak: lossy fabric + crash of a range's sole
     extra replica.
@@ -320,12 +356,21 @@ def run_chaos_scenario(
     interest_sets: Optional[Dict[str, Optional[tuple]]] = None,
     min_replication_factor: int = 1,
     slave_cache_pages: Optional[int] = None,
+    traffic=None,
 ) -> ChaosReport:
     """Run one seeded chaos scenario end to end and audit the wreckage.
 
     The browsers stop ``settle`` seconds before ``duration``; the remaining
     window drains in-flight interactions, retransmissions and
     reconfigurations so the invariant checkers observe a quiescent cluster.
+
+    With ``traffic`` set to a :class:`~repro.traffic.scenario.TrafficScenario`
+    the closed-loop browser pool is replaced by an open-loop
+    :class:`~repro.traffic.engine.OpenLoopEngine`: the scenario's own
+    ``duration``/``settle`` override the arguments, its ``faults`` plan is
+    used when no explicit ``plan`` is given, and the report additionally
+    carries per-tenant traffic stats (audited by the per-tenant-slo,
+    shed-fairness and burst-recovery invariants).
     """
     # Imported lazily: the cluster module itself uses repro.chaos.network,
     # so importing it at module scope would cycle through the package init.
@@ -336,6 +381,11 @@ def run_chaos_scenario(
 
     if scale is None:
         scale = TpcwScale(num_items=80, num_customers=230)
+    if traffic is not None:
+        duration = traffic.duration
+        settle = traffic.settle
+        if plan is None and traffic.faults is not None:
+            plan = traffic.faults
     if plan is None:
         plan = default_chaos_plan(seed, duration)
     cluster = SimDmvCluster(
@@ -358,8 +408,14 @@ def run_chaos_scenario(
     cluster.load(TpcwDataGenerator(scale, seed=11))
     cluster.warm_all_caches()
     plan.schedule(cluster)
-    cluster.start_browsers(browsers, MIXES[mix_name], scale, think_time_mean=think_time)
-    cluster.sim.schedule(max(0.0, duration - settle), cluster.stop_browsers)
+    if traffic is not None:
+        from repro.traffic.engine import OpenLoopEngine
+
+        engine = OpenLoopEngine(cluster, traffic, seed=seed, scale=scale)
+        engine.start(inject_until=max(0.0, duration - settle))
+    else:
+        cluster.start_browsers(browsers, MIXES[mix_name], scale, think_time_mean=think_time)
+        cluster.sim.schedule(max(0.0, duration - settle), cluster.stop_browsers)
     cluster.run(until=duration)
 
     invariants = check_all_invariants(cluster)
@@ -382,4 +438,5 @@ def run_chaos_scenario(
         fingerprint=merged.fingerprint(),
         retries_by_reason=dict(metrics.aborts_by_reason),
         tracer=cluster.tracer if trace else None,
+        traffic=cluster.traffic_stats,
     )

@@ -164,6 +164,53 @@ class CostConfig:
     #: Service time of one WAL group force on the in-memory tier
     #: (battery-backed/NVMe log device, not the cold-tier spindle model).
     wal_fsync_time: float = 0.0005
+    # -- overload robustness (admission control, deadlines, retry budgets) --------------------
+    # All default-off: the admission controller, deadline propagation and
+    # client retry budgets move counters when active, so legacy seeded
+    # fingerprints require every knob at its zero value.
+    #: Per-tenant admission token-bucket refill rate (requests/second at
+    #: the scheduler entry).  0 disables per-tenant rate limiting.
+    admission_rate: float = 0.0
+    #: Token-bucket capacity (burst allowance).  0 means "same as
+    #: ``admission_rate``" when rate limiting is on.
+    admission_burst: float = 0.0
+    #: Queue-delay watermark (seconds of scheduler/admission queueing,
+    #: EWMA-smoothed) above which new arrivals are shed, cheapest-to-retry
+    #: first: reads shed at the watermark, updates only above
+    #: ``watermark * admission_shed_update_factor``.  0 disables.
+    admission_queue_watermark: float = 0.0
+    #: Updates are shed only when the queue-delay EWMA exceeds the
+    #: watermark by this factor (reads are cheaper to retry: any fresh
+    #: replica can serve the retry, so they shed first).
+    admission_shed_update_factor: float = 2.0
+    #: EWMA smoothing factor for the admission queue-delay estimate.
+    admission_delay_alpha: float = 0.2
+    #: Half-life (seconds) of the queue-delay signal with no fresh
+    #: observations.  Without decay the watermark latches: a congested
+    #: EWMA sheds everything at the door, no update is ever admitted to
+    #: observe the (now idle) queue, and shedding never stops.
+    admission_delay_halflife: float = 5.0
+    #: Default request deadline stamped at arrival (seconds); propagated
+    #: through routing -> execute -> commit so doomed work is cancelled at
+    #: every stage instead of completed late.  0 = no deadlines.
+    request_deadline: float = 0.0
+    #: Client-side retry budget: retry tokens refilled per second (shared
+    #: per tenant in the open-loop engine, pool-wide for the closed-loop
+    #: browsers).  0 = unlimited retries (legacy).
+    retry_budget_rate: float = 0.0
+    #: Retry-budget bucket capacity.  0 means "same as
+    #: ``retry_budget_rate``" when the budget is on.
+    retry_budget_burst: float = 0.0
+    #: Client circuit breaker: failure fraction over the rolling outcome
+    #: window that opens the breaker (requests are then shed client-side
+    #: without touching the cluster).  0 disables the breaker.
+    breaker_failure_threshold: float = 0.0
+    #: Rolling outcome-window size (last N request outcomes) the breaker
+    #: judges, and the minimum volume before it may open.
+    breaker_window: int = 20
+    #: Seconds an open breaker waits before letting one half-open probe
+    #: through; a successful probe closes it, a failed one re-opens it.
+    breaker_cooldown: float = 5.0
 
     def net_delay(self, nbytes: int) -> float:
         return self.net_latency + nbytes / self.net_bandwidth

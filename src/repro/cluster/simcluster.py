@@ -38,6 +38,7 @@ from repro.failover.reintegration import (
 )
 from repro.obs import NULL_SPAN, Tracer
 from repro.storage.page import Page
+from repro.scheduler.admission import AdmissionController
 from repro.scheduler.conflictaware import ConflictAwareScheduler
 from repro.scheduler.versionaware import VersionAwareScheduler
 from repro.sim.kernel import Simulator
@@ -47,6 +48,7 @@ from repro.tpcw.interactions import INTERACTIONS, SharedSequences
 from repro.tpcw.mixes import Mix
 from repro.tpcw.schema import TpcwScale
 from repro.tpcw.session import EmulatedBrowser
+from repro.traffic.budget import RetryBudget
 
 
 @dataclass
@@ -85,6 +87,13 @@ class SimConnection(Connection):
 
     def __init__(self, cluster: "SimDmvCluster") -> None:
         self.cluster = cluster
+        #: Tenant label for per-tenant admission control (open-loop traffic
+        #: sets it; the closed-loop browsers keep the default).
+        self.tenant = "default"
+        #: Absolute virtual-clock deadline stamped at arrival, or None.
+        #: Propagated through routing, execution and commit: each stage
+        #: cancels doomed work instead of finishing it.
+        self.deadline: Optional[float] = None
         self._node: Optional[InMemoryDbNode] = None
         self._txn = None
         self._is_update = False
@@ -98,7 +107,15 @@ class SimConnection(Connection):
         #: span still held here is closed as aborted by :meth:`cleanup`.
         self._root = NULL_SPAN
 
+    def _deadline_expired(self) -> bool:
+        return self.deadline is not None and self.cluster.sim.now() >= self.deadline
+
     def begin_read(self, tables: Sequence[str]):
+        # Admission + deadline gates run before any span or routing state
+        # exists, so a rejection leaves the connection untouched.
+        self.cluster.admission_check("read", self.tenant)
+        if self._deadline_expired():
+            raise self.cluster.deadline_cancel("read-begin")
         root = self._root = self.cluster.tracer.span(
             "txn", kind="read", tables=",".join(tables)
         )
@@ -135,7 +152,9 @@ class SimConnection(Connection):
         root = self._root
         sched = root.child("schedule", kind="update")
         try:
-            node, self._mpl_slot = yield from self.cluster.admit_update(tables)
+            node, self._mpl_slot = yield from self.cluster.admit_update(
+                tables, tenant=self.tenant, deadline=self.deadline
+            )
         except BaseException as exc:
             sched.finish(status="error", error=type(exc).__name__)
             raise
@@ -162,6 +181,10 @@ class SimConnection(Connection):
             # the transaction back.
             self._node = self._txn = None
             raise NodeUnavailable(f"node {node.node_id} failed mid-transaction")
+        if self._deadline_expired():
+            # Doomed mid-transaction: stop executing statements for it.
+            # State stays attached so ``cleanup`` rolls the txn back.
+            raise self.cluster.deadline_cancel("execute")
         if self._is_update and not sql.lstrip().lower().startswith("select"):
             self._queries.append((sql, tuple(params)))
         cfg = self.cluster.cost.config
@@ -197,7 +220,10 @@ class SimConnection(Connection):
         self._root = NULL_SPAN
         slot, self._mpl_slot = self._mpl_slot, None
         return self.cluster.sim.spawn(
-            self.cluster.commit_update(node, txn, queries, mpl_slot=slot), name="commit"
+            self.cluster.commit_update(
+                node, txn, queries, mpl_slot=slot, deadline=self.deadline
+            ),
+            name="commit",
         )
 
     def abort(self):
@@ -763,6 +789,25 @@ class SimDmvCluster:
         #: monitor daemon that acts on it is spawned only for non-default
         #: ack policies to keep the ``all`` event stream bit-identical.
         self.laggard = LaggardDetector(self.cost.config)
+        #: Overload-robustness state.  The admission controller is a pure
+        #: state machine (no events, no RNG, no counters until it rejects),
+        #: created only when its knobs are on so default runs stay
+        #: bit-identical.  ``retry_budget`` backs the closed-loop browser
+        #: pool's retry cap; the open-loop engine keeps per-tenant budgets
+        #: of its own.  ``traffic_stats`` is attached by an
+        #: :class:`~repro.traffic.engine.OpenLoopEngine` when one drives
+        #: this cluster (the overload invariants key off it).
+        self.admission = (
+            AdmissionController(self.cost.config) if self.overload_active else None
+        )
+        self.retry_budget = (
+            RetryBudget(
+                self.cost.config.retry_budget_rate, self.cost.config.retry_budget_burst
+            )
+            if self.cost.config.retry_budget_rate > 0
+            else None
+        )
+        self.traffic_stats = None
         #: node_id -> open ``demote`` span for currently demoted slaves.
         self._demoted: Dict[str, object] = {}
         #: Every node that was ever demoted (rejoin-convergence invariant).
@@ -1130,7 +1175,12 @@ class SimDmvCluster:
             )
         return slot
 
-    def admit_update(self, tables: Sequence[str]):
+    def admit_update(
+        self,
+        tables: Sequence[str],
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+    ):
         """Route an update to its master and, when ``update_mpl`` bounds the
         per-master multiprogramming level, wait for an admission slot.
 
@@ -1139,13 +1189,28 @@ class SimDmvCluster:
         master may have died or the class re-homed while queued, in which
         case the update re-routes rather than executing against a stale
         owner.
+
+        With the overload defenses on, the per-tenant admission gate runs
+        first (shedding at the door is the cheapest outcome), an expired
+        ``deadline`` cancels the update both before routing and after any
+        slot wait (queued work whose client has given up is pure waste),
+        and the observed routing+slot queueing delay feeds the admission
+        controller's watermark EWMA.
         """
+        self.admission_check("update", tenant)
+        entered = self.sim.now()
         while True:
+            if deadline is not None and self.sim.now() >= deadline:
+                raise self.deadline_cancel("admit")
             node = yield from self.acquire_master(tables)
             if self.cost.config.update_mpl <= 0:
+                self._observe_admission_delay(entered)
                 return node, None
             slot = self._update_slot(node.node_id)
             yield from slot.acquire()
+            if deadline is not None and self.sim.now() >= deadline:
+                slot.release()
+                raise self.deadline_cancel("mpl-queue")
             stale = not node.alive or node.master is None
             if not stale and tables:
                 try:
@@ -1153,6 +1218,7 @@ class SimDmvCluster:
                 except ConfigError:
                     stale = True
             if not stale:
+                self._observe_admission_delay(entered)
                 return node, slot
             slot.release()
 
@@ -1172,6 +1238,41 @@ class SimDmvCluster:
     def durability_active(self) -> bool:
         """True when nodes keep durable WALs (restart-from-own-disk mode)."""
         return self.cost.config.durable_wal
+
+    @property
+    def overload_active(self) -> bool:
+        """True when scheduler-side admission control may shed requests."""
+        cfg = self.cost.config
+        return cfg.admission_rate > 0 or cfg.admission_queue_watermark > 0
+
+    # -- overload defenses (admission + deadline propagation) ----------------------------------
+    def admission_check(self, kind: str, tenant: str) -> None:
+        """Shed ``kind`` (``read``/``update``) at the door, or admit it.
+
+        Raises a retryable-looking :class:`NodeUnavailable` with reason
+        ``admission-reject``; well-behaved clients treat it as a shed (no
+        immediate retry) — that is the whole point of rejecting cheaply.
+        """
+        if self.admission is None:
+            return
+        cause = self.admission.admit(kind, tenant, self.sim.now())
+        if cause is not None:
+            self.counters.add("sched.admission_rejects")
+            shed = NodeUnavailable(f"admission rejected {kind} ({cause})")
+            shed.reason = "admission-reject"
+            raise shed
+
+    def deadline_cancel(self, stage: str) -> NodeUnavailable:
+        """Build (and count) the terminal error for an expired deadline."""
+        self.counters.add("sched.deadline_cancels")
+        expired = NodeUnavailable(f"request deadline expired at {stage}")
+        expired.reason = "deadline"
+        return expired
+
+    def _observe_admission_delay(self, entered: float) -> None:
+        if self.admission is not None:
+            now = self.sim.now()
+            self.admission.observe_queue_delay(now - entered, now)
 
     def is_demoted(self, node_id: str) -> bool:
         return node_id in self._demoted
@@ -1308,7 +1409,9 @@ class SimDmvCluster:
         span.finish(status="rejoined")
 
     # -- replication ------------------------------------------------------------------------
-    def commit_update(self, node: InMemoryDbNode, txn, queries, mpl_slot=None):
+    def commit_update(
+        self, node: InMemoryDbNode, txn, queries, mpl_slot=None, deadline=None
+    ):
         """Master pre-commit + eager broadcast + ack barrier (Figure 2).
 
         This job owns the transaction's root span from the moment the
@@ -1323,7 +1426,9 @@ class SimDmvCluster:
         """
         cfg = self.cost.config
         if cfg.epoch_max_txns > 1:
-            result = yield from self._commit_update_epoch(node, txn, queries, mpl_slot)
+            result = yield from self._commit_update_epoch(
+                node, txn, queries, mpl_slot, deadline
+            )
             return result
         root = getattr(txn, "obs_span", NULL_SPAN)
         committed = False
@@ -1331,6 +1436,14 @@ class SimDmvCluster:
         try:
             if not node.alive or not txn.active:
                 raise NodeUnavailable(f"master {node.node_id} failed before commit")
+            if deadline is not None and self.sim.now() >= deadline:
+                # The client has already given up: abort instead of paying
+                # for pre-commit, WAL force and a full broadcast barrier.
+                node.engine.abort(txn, reason="deadline")
+                self.counters.add("sched.deadline_cancels")
+                raise TransactionAborted(
+                    "request deadline expired at commit", reason="deadline"
+                )
             yield from node.cpu.acquire()
             write_set = None
             pre = (
@@ -1464,7 +1577,9 @@ class SimDmvCluster:
             if not epoch.done.triggered:
                 epoch.done.succeed(False)
 
-    def _commit_update_epoch(self, node: InMemoryDbNode, txn, queries, mpl_slot=None):
+    def _commit_update_epoch(
+        self, node: InMemoryDbNode, txn, queries, mpl_slot=None, deadline=None
+    ):
         """Epoch-batched variant of :meth:`commit_update`.
 
         OCC validation runs per transaction at epoch *join* (with early
@@ -1480,6 +1595,12 @@ class SimDmvCluster:
         try:
             if not node.alive or not txn.active:
                 raise NodeUnavailable(f"master {node.node_id} failed before commit")
+            if deadline is not None and self.sim.now() >= deadline:
+                node.engine.abort(txn, reason="deadline")
+                self.counters.add("sched.deadline_cancels")
+                raise TransactionAborted(
+                    "request deadline expired at commit", reason="deadline"
+                )
             yield from node.cpu.acquire()
             pre = (
                 root.child("precommit", node=node.node_id)
@@ -2580,9 +2701,17 @@ class SimDmvCluster:
         while not self._stop_browsers:
             name = browser.pick()
             start = self.sim.now()
+            # Latency is measured from ``start`` — the moment this browser
+            # *wanted* the interaction — across all retries.  Closed-loop
+            # clients still under-report overload (they stop offering load
+            # while stalled: coordinated omission); the open-loop
+            # :class:`~repro.traffic.engine.OpenLoopEngine` measures from
+            # the scheduled arrival instead.
+            deadline = start + cfg.request_deadline if cfg.request_deadline > 0 else None
             attempts = 0
             while True:
                 conn = SimConnection(self)
+                conn.deadline = deadline
                 gen = browser.start(name, conn)
                 try:
                     yield from self._drive(gen, conn)
@@ -2594,7 +2723,23 @@ class SimDmvCluster:
                     reason = getattr(exc, "reason", "node-failure")
                     self.metrics.record_retry(reason)
                     attempts += 1
+                    if reason == "deadline":
+                        # The whole request is past its deadline; retrying
+                        # the doomed interaction would only amplify load.
+                        self.metrics.failed += 1
+                        break
                     if attempts > max_retries:
+                        self.metrics.failed += 1
+                        break
+                    if self.retry_budget is not None and not self.retry_budget.try_spend(
+                        self.sim.now()
+                    ):
+                        # Budget drained (e.g. a shed storm of
+                        # ``sched.shed_requests`` rejections): give up
+                        # instead of retrying in lock-step with every other
+                        # browser — the retry storm is what turns a burst
+                        # into a metastable outage.
+                        self.counters.add("bench.retries_exhausted")
                         self.metrics.failed += 1
                         break
                     # Jittered exponential backoff from the browser's own

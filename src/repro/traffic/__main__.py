@@ -1,0 +1,105 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.traffic``.
+
+Runs one named traffic scenario (open-loop, seeded) against a simulated
+cluster, with the overload defense stack on or off, and prints the chaos
+report plus the per-tenant traffic table.  Exit status follows the
+invariants only when defenses are on: with ``--defenses off`` the run is
+*expected* to violate burst recovery (that is the metastability demo),
+so invariant failures are reported but not fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos.scenario import run_chaos_scenario
+from repro.traffic.scenario import (
+    SCENARIOS,
+    overload_base_config,
+    overload_defense_config,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.traffic",
+        description="Run one seeded open-loop traffic scenario.",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="flash-crowd",
+        help="named traffic scenario (see repro.traffic.scenario.SCENARIOS)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="virtual seconds (default: the scenario's own duration)",
+    )
+    parser.add_argument(
+        "--defenses",
+        choices=("on", "off"),
+        default="on",
+        help="'on' = admission control + deadlines + retry budgets + "
+        "breaker; 'off' = same server shape, no defenses (the "
+        "metastability demo arm; invariant failures become warnings)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the traffic stats as JSON to PATH ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--expect-fingerprint",
+        default=None,
+        help="fail unless the metrics fingerprint matches (reproducibility gate)",
+    )
+    args = parser.parse_args(argv)
+
+    builder = SCENARIOS[args.scenario]
+    kwargs = {"seed": args.seed}
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    scenario = builder(**kwargs)
+    defenses_on = args.defenses == "on"
+    cost_config = overload_defense_config() if defenses_on else overload_base_config()
+
+    report = run_chaos_scenario(
+        seed=args.seed,
+        cost_config=cost_config,
+        traffic=scenario,
+    )
+    print(scenario.describe() + f" [defenses {args.defenses}]")
+    print(report.summary())
+
+    if args.json and report.traffic is not None:
+        payload = report.traffic.to_json()
+        payload["defenses"] = args.defenses
+        payload["seed"] = args.seed
+        payload["fingerprint"] = report.fingerprint
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"traffic stats -> {args.json}")
+
+    ok = True
+    if args.expect_fingerprint and report.fingerprint != args.expect_fingerprint:
+        print(
+            f"FAIL: fingerprint {report.fingerprint} != expected {args.expect_fingerprint}"
+        )
+        ok = False
+    if defenses_on and not report.ok():
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

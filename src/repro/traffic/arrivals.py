@@ -1,0 +1,173 @@
+"""Seeded arrival processes and composable rate shapes.
+
+A :class:`RateShape` is a deterministic intensity function ``rate(t)``
+(requests/second of virtual time).  Shapes compose with ``+`` — a flash
+crowd is just ``ConstantRate(base) + BurstRate(...)`` — and each shape
+reports its ``peak`` (for Lewis–Shedler thinning) and any ``bursts``
+windows (for the burst-recovery invariant).
+
+Two arrival processes turn a shape into scheduled arrival times:
+
+* ``poisson`` — a non-homogeneous Poisson process via thinning: candidate
+  arrivals are drawn at the peak rate from the tenant's own
+  :class:`~repro.common.rng.RngStream` and accepted with probability
+  ``rate(t)/peak``.  Deterministic given the stream.
+* ``uniform`` — deterministic pacing that tracks the rate curve exactly:
+  the next arrival lands ``1/rate(t)`` after the previous one.
+
+Both are pure generators over the virtual clock: the schedule depends
+only on (seed, shape), never on completions — that independence is what
+makes the load open-loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.common.rng import RngStream
+
+
+class RateShape:
+    """Base class: a deterministic arrival-intensity function of time."""
+
+    def rate(self, t: float) -> float:
+        raise NotImplementedError
+
+    def peak(self) -> float:
+        """Upper bound on ``rate(t)`` (the thinning envelope)."""
+        raise NotImplementedError
+
+    def bursts(self) -> List[Tuple[float, float]]:
+        """``(start, end)`` windows where the shape deliberately surges."""
+        return []
+
+    def __add__(self, other: "RateShape") -> "CompositeRate":
+        mine = list(self.shapes) if isinstance(self, CompositeRate) else [self]
+        theirs = list(other.shapes) if isinstance(other, CompositeRate) else [other]
+        return CompositeRate(tuple(mine + theirs))
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateShape):
+    """Steady offered load of ``per_second`` requests/second."""
+
+    per_second: float
+
+    def rate(self, t: float) -> float:
+        return self.per_second
+
+    def peak(self) -> float:
+        return self.per_second
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RateShape):
+    """Sinusoidal day/night curve: ``base * (1 + amplitude*sin(2πt/period))``.
+
+    ``amplitude`` is a fraction in [0, 1]; the trough never goes negative.
+    """
+
+    base: float
+    amplitude: float = 0.5
+    period: float = 120.0
+    phase: float = 0.0
+
+    def rate(self, t: float) -> float:
+        amp = min(1.0, max(0.0, self.amplitude))
+        return max(
+            0.0,
+            self.base * (1.0 + amp * math.sin(2.0 * math.pi * (t - self.phase) / self.period)),
+        )
+
+    def peak(self) -> float:
+        return self.base * (1.0 + min(1.0, max(0.0, self.amplitude)))
+
+
+@dataclass(frozen=True)
+class BurstRate(RateShape):
+    """A flash crowd: ``extra`` additional requests/second inside a window."""
+
+    extra: float
+    start: float
+    duration: float
+
+    def rate(self, t: float) -> float:
+        return self.extra if self.start <= t < self.start + self.duration else 0.0
+
+    def peak(self) -> float:
+        return self.extra
+
+    def bursts(self) -> List[Tuple[float, float]]:
+        return [(self.start, self.start + self.duration)]
+
+
+@dataclass(frozen=True)
+class CompositeRate(RateShape):
+    """Sum of component shapes (what ``shape_a + shape_b`` builds)."""
+
+    shapes: Tuple[RateShape, ...]
+
+    def rate(self, t: float) -> float:
+        return sum(shape.rate(t) for shape in self.shapes)
+
+    def peak(self) -> float:
+        return sum(shape.peak() for shape in self.shapes)
+
+    def bursts(self) -> List[Tuple[float, float]]:
+        out: List[Tuple[float, float]] = []
+        for shape in self.shapes:
+            out.extend(shape.bursts())
+        return sorted(out)
+
+
+def poisson_arrivals(rng: RngStream, shape: RateShape, until: float) -> Iterator[float]:
+    """Non-homogeneous Poisson arrivals by Lewis–Shedler thinning."""
+    peak = shape.peak()
+    if peak <= 0:
+        return
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0 / peak)
+        if t >= until:
+            return
+        if rng.random() < shape.rate(t) / peak:
+            yield t
+
+
+def uniform_arrivals(rng: RngStream, shape: RateShape, until: float) -> Iterator[float]:
+    """Deterministically paced arrivals tracking the rate curve exactly.
+
+    ``rng`` is accepted for interface symmetry but never drawn from: a
+    uniform tenant's schedule is a pure function of its shape.
+    """
+    t = 0.0
+    idle_step = 0.25  # probe forward through zero-rate stretches
+    while t < until:
+        r = shape.rate(t)
+        if r <= 0:
+            t += idle_step
+            continue
+        yield t
+        t += 1.0 / r
+
+
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrivals,
+    "uniform": uniform_arrivals,
+}
+
+
+def iter_arrivals(
+    process: str, rng: RngStream, shape: RateShape, until: float
+) -> Iterator[float]:
+    """Arrival times in [0, until) for one tenant's configured process."""
+    try:
+        fn = ARRIVAL_PROCESSES[process]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {process!r} (expected one of "
+            f"{sorted(ARRIVAL_PROCESSES)})"
+        ) from None
+    return fn(rng, shape, until)

@@ -1,0 +1,287 @@
+"""The traffic scenario DSL: tenants x rate shapes x chaos fault plans.
+
+A :class:`TrafficScenario` is declarative data: a tuple of
+:class:`TenantSpec` (each a named workload with its own rate shape,
+arrival process, TPC-W mix, key skew, deadline and SLO) plus an optional
+chaos :class:`~repro.chaos.faults.FaultPlan`, so "flash crowd on a hot
+conflict class while a slave is demoted" is one literal::
+
+    TrafficScenario(
+        name="crowd-while-demoted",
+        duration=200.0,
+        tenants=(
+            TenantSpec(
+                "web",
+                shape=ConstantRate(12.0) + BurstRate(extra=60.0, start=60.0, duration=30.0),
+                mix="ordering",
+                key_skew=1.1,
+            ),
+            TenantSpec("batch", shape=ConstantRate(2.0), mix="shopping", process="uniform"),
+        ),
+        faults=FaultPlan(seed=7, events=(Slowdown(at=40.0, node_id="s2", factor=12.0),)),
+    )
+
+The builders below are the canonical examples the README quickstart,
+the chaos ``--plan overload`` wiring and the overload bench share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chaos.faults import FaultPlan, LinkFault
+from repro.cluster.costs import CostConfig
+from repro.traffic.arrivals import (
+    BurstRate,
+    ConstantRate,
+    DiurnalRate,
+    RateShape,
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered load and service expectations."""
+
+    name: str
+    shape: RateShape
+    #: TPC-W mix name (see :data:`repro.tpcw.mixes.MIXES`).
+    mix: str = "ordering"
+    #: Arrival process: ``poisson`` (thinned non-homogeneous) or
+    #: ``uniform`` (deterministic pacing along the rate curve).
+    process: str = "poisson"
+    #: Zipf exponent over the tenant's session pool: > 0 concentrates
+    #: requests on a few hot sessions (hot carts -> hot conflict classes);
+    #: 0 picks sessions uniformly.
+    key_skew: float = 0.0
+    #: Concurrent session contexts the tenant's requests draw from.
+    sessions: int = 32
+    #: Per-request deadline (seconds after scheduled arrival); 0 defers to
+    #: ``CostConfig.request_deadline`` (so one config swap toggles the
+    #: defense for a whole scenario).
+    deadline: float = 0.0
+    #: Latency SLO threshold for per-tenant attainment accounting.
+    slo_latency: float = 1.0
+    #: Per-request retry ceiling (the budget may cut retries off earlier).
+    max_attempts: int = 8
+
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """A composed load shape: tenants + duration + optional fault plan."""
+
+    name: str
+    duration: float
+    tenants: Tuple[TenantSpec, ...]
+    #: Chaos fault plan to run alongside the load (None = clean fabric).
+    faults: Optional[FaultPlan] = None
+    #: Injection stops this many seconds before ``duration`` so in-flight
+    #: requests and retransmissions drain before the invariant audit.
+    settle: float = 25.0
+    #: Burst-recovery invariant: goodput must return to within this
+    #: fraction of the pre-burst level...
+    recovery_epsilon: float = 0.25
+    #: ...within this many seconds after the last burst ends.
+    recovery_window: float = 40.0
+    #: Goodput sampling window (seconds) for the recovery measurement.
+    goodput_window: float = 5.0
+    #: Shed-rate fairness: a non-bursting tenant's shed ratio may not
+    #: exceed ``max(fairness_floor, fairness_ratio * worst aggressor)``.
+    fairness_ratio: float = 0.5
+    fairness_floor: float = 0.10
+
+    @property
+    def inject_until(self) -> float:
+        return max(0.0, self.duration - self.settle)
+
+    def bursts(self) -> List[Tuple[float, float]]:
+        """All tenants' deliberate surge windows, sorted by start."""
+        out: List[Tuple[float, float]] = []
+        for tenant in self.tenants:
+            out.extend(tenant.shape.bursts())
+        return sorted(out)
+
+    def bursting_tenants(self) -> List[str]:
+        return [t.name for t in self.tenants if t.shape.bursts()]
+
+    def describe(self) -> str:
+        parts = [
+            f"{t.name}: {t.process} {t.shape.peak():g}/s peak, mix={t.mix}"
+            + (f", zipf={t.key_skew:g}" if t.key_skew else "")
+            for t in self.tenants
+        ]
+        return f"traffic scenario {self.name!r} ({'; '.join(parts)})"
+
+
+def overload_defense_config(
+    base: Optional[CostConfig] = None, **overrides
+) -> CostConfig:
+    """The canonical defenses-ON configuration for overload scenarios.
+
+    Layered on the write scale-out server shape (bounded update MPL +
+    epoch commit) it adds the full client/scheduler defense stack:
+    per-tenant token buckets, queue-delay watermark shedding, request
+    deadlines, retry budgets and circuit breaking.  The OFF arm of the
+    metastability demo uses :func:`overload_base_config` — identical
+    except for the defense knobs — so the comparison isolates them.
+    """
+    if base is None:
+        base = overload_base_config()
+    values = dict(
+        admission_rate=30.0,
+        admission_burst=90.0,
+        admission_queue_watermark=0.6,
+        request_deadline=1.5,
+        retry_budget_rate=1.5,
+        retry_budget_burst=8.0,
+        breaker_failure_threshold=0.5,
+    )
+    values.update(overrides)
+    return dataclasses.replace(base, **values)
+
+
+def overload_base_config(**overrides) -> CostConfig:
+    """Server shape shared by both arms of the overload comparison.
+
+    Bounded update MPL + epoch commit, on a deliberately *slow* cost
+    model (~30x the default CPU costs): the flash-crowd peak must exceed
+    the cluster's service capacity for overload behaviour to exist at
+    all — at the default costs the simulated cluster absorbs hundreds of
+    requests per second without queueing and both arms look identical.
+    """
+    values = dict(
+        update_mpl=4,
+        epoch_max_txns=4,
+        epoch_ms=5.0,
+        cpu_per_statement=0.01,
+        cpu_per_row_read=0.0005,
+        cpu_per_page_touch=0.0002,
+        cpu_per_row_write=0.002,
+        cpu_per_index_rotation=0.004,
+        cpu_per_op_precommit=0.001,
+    )
+    values.update(overrides)
+    return CostConfig(**values)
+
+
+def _lossy_fabric(seed: int, duration: float) -> FaultPlan:
+    """Mild loss/duplication fabric-wide, cleared before quiescence."""
+    return FaultPlan(
+        seed=seed,
+        events=(
+            LinkFault(at=0.0, drop_p=0.02, dup_p=0.005, until=round(duration * 0.75, 3)),
+        ),
+    )
+
+
+def flash_crowd_scenario(
+    duration: float = 200.0,
+    seed: int = 0,
+    base_rate: float = 12.0,
+    burst_extra: float = 120.0,
+    burst_start_frac: float = 0.3,
+    burst_frac: float = 0.15,
+    faults: Optional[FaultPlan] = None,
+    deadline: float = 0.0,
+) -> TrafficScenario:
+    """The metastability demo: a Zipf-hot web tenant flash-crowds while a
+    uniform batch tenant keeps its steady trickle.
+
+    With defenses OFF the burst's retry amplification keeps the cluster
+    saturated long after injection returns to the base rate; with the
+    admission controller + deadlines + retry budgets ON, excess arrivals
+    are shed cheaply at the door and goodput recovers within the
+    burst-recovery window.
+    """
+    burst_start = round(duration * burst_start_frac, 3)
+    burst_len = round(duration * burst_frac, 3)
+    if faults is None:
+        # Default to the mild lossy fabric (same shape as the chaos
+        # ``overload`` plan): the demo isolates overload behaviour, so no
+        # crash/partition unless the caller asks for one.
+        faults = _lossy_fabric(seed, duration)
+    return TrafficScenario(
+        name="flash-crowd",
+        duration=duration,
+        tenants=(
+            TenantSpec(
+                "web",
+                shape=ConstantRate(base_rate)
+                + BurstRate(extra=burst_extra, start=burst_start, duration=burst_len),
+                mix="ordering",
+                key_skew=1.1,
+                deadline=deadline,
+                slo_latency=1.0,
+            ),
+            TenantSpec(
+                "batch",
+                shape=ConstantRate(2.0),
+                mix="shopping",
+                process="uniform",
+                deadline=deadline,
+                slo_latency=2.0,
+            ),
+        ),
+        faults=faults,
+    )
+
+
+def diurnal_scenario(
+    duration: float = 240.0,
+    seed: int = 0,
+    base_rate: float = 10.0,
+    amplitude: float = 0.6,
+) -> TrafficScenario:
+    """A day/night curve: load swings ±60 % around the base over 2 cycles."""
+    return TrafficScenario(
+        name="diurnal",
+        duration=duration,
+        tenants=(
+            TenantSpec(
+                "web",
+                shape=DiurnalRate(base_rate, amplitude=amplitude, period=duration / 2.0),
+                mix="shopping",
+            ),
+        ),
+        faults=_lossy_fabric(seed, duration),
+    )
+
+
+def multi_tenant_scenario(
+    duration: float = 200.0,
+    seed: int = 0,
+) -> TrafficScenario:
+    """Three tenants with distinct mixes, processes and skew: the tenant
+    isolation question (does one tenant's burst starve the others?)."""
+    burst_start = round(duration * 0.35, 3)
+    return TrafficScenario(
+        name="multi-tenant",
+        duration=duration,
+        tenants=(
+            TenantSpec(
+                "storefront",
+                shape=ConstantRate(8.0)
+                + BurstRate(extra=40.0, start=burst_start, duration=round(duration * 0.1, 3)),
+                mix="ordering",
+                key_skew=0.9,
+            ),
+            TenantSpec("browse", shape=ConstantRate(6.0), mix="browsing"),
+            TenantSpec(
+                "reporting",
+                shape=ConstantRate(1.5),
+                mix="shopping",
+                process="uniform",
+                slo_latency=3.0,
+            ),
+        ),
+        faults=_lossy_fabric(seed, duration),
+    )
+
+
+SCENARIOS = {
+    "flash-crowd": flash_crowd_scenario,
+    "diurnal": diurnal_scenario,
+    "multi-tenant": multi_tenant_scenario,
+}

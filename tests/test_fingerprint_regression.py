@@ -48,5 +48,13 @@ def test_legacy_fingerprint_reproduced_bit_for_bit(name, capsys):
         "net.write_sets_filtered",
         "sched.coverage_rejects",
         "sched.partial_master_fallbacks",
+        # Overload defenses are opt-in: none of these may fire (or even be
+        # touched) on a legacy closed-loop run with defenses off.
+        "sched.admission_rejects",
+        "sched.deadline_cancels",
+        "bench.retries_exhausted",
+        "traffic.requests_injected",
+        "traffic.retry_budget_exhausted",
+        "traffic.breaker_short_circuits",
     ):
         assert f"{counter}=0" in out, f"{counter} fired on a legacy run"

@@ -1,0 +1,165 @@
+"""Overload robustness: shed paths composed with replication machinery,
+deadline propagation through the scheduler, and the metastability demo.
+
+The interesting failure modes are *compositions*: a bounded update queue
+shedding during reconfiguration while quorum acks run with a demoted
+laggard; a request deadline expiring inside the master-MPL wait; the
+defenses-OFF arm staying SLO-degraded long after a flash crowd while the
+defenses-ON arm recovers within seconds on the same seed.
+"""
+
+from repro.bench.overload import run_overload_comparison
+from repro.chaos.scenario import overload_chaos_plan, run_chaos_scenario
+from repro.cluster.costs import CostConfig
+from repro.cluster.simcluster import SimDmvCluster
+from repro.tpcw import MIXES, TPCW_SCHEMAS, TpcwDataGenerator, TpcwScale
+from repro.traffic.scenario import (
+    flash_crowd_scenario,
+    overload_base_config,
+    overload_defense_config,
+)
+
+SCALE = TpcwScale(num_items=80, num_customers=230)
+
+
+def build_cluster(**kwargs):
+    kwargs.setdefault("num_slaves", 3)
+    cluster = SimDmvCluster(TPCW_SCHEMAS, **kwargs)
+    cluster.load(TpcwDataGenerator(SCALE, seed=11))
+    cluster.warm_all_caches()
+    return cluster
+
+
+def run_workload(cluster, duration=60.0, browsers=8, settle=15.0, mix="ordering"):
+    cluster.start_browsers(browsers, MIXES[mix], SCALE, think_time_mean=0.3)
+    cluster.sim.schedule(max(0.0, duration - settle), cluster.stop_browsers)
+    cluster.run(until=duration)
+    return cluster
+
+
+def merged_counter(cluster, name):
+    from repro.common.counters import Counters
+
+    merged = Counters.merged(
+        [node.counters for node in cluster.nodes.values()] + [cluster.counters]
+    )
+    return merged.get(name)
+
+
+class TestQueueLimitComposition:
+    def test_queue_shed_composes_with_quorum_acks_and_demoted_slave(self):
+        # All three overload-era mechanisms at once: quorum acks demote a
+        # slowed laggard, then the master dies and the bounded update
+        # queue sheds the arrivals that pile up during reconfiguration.
+        # Shed must stay retryable and the audit must still pass with the
+        # laggard out of the ack set.
+        from repro.chaos import check_all_invariants
+
+        cfg = CostConfig(update_queue_limit=1)
+        cluster = build_cluster(
+            seed=21, ack_policy="quorum", quorum_k=1, cost_config=cfg
+        )
+        cluster.sim.schedule(8.0, cluster.set_slowdown, "s2", 20.0)
+        cluster.kill_node_at("m0", 25.0)
+        run_workload(cluster, duration=80.0, browsers=12, settle=20.0)
+        assert merged_counter(cluster, "slave.demotions") >= 1
+        assert merged_counter(cluster, "sched.shed_requests") > 0
+        assert "queue-shed" in cluster.metrics.aborts_by_reason
+        assert cluster.metrics.failed == 0  # shed work retried, never lost
+        assert cluster.metrics.completed > 0
+        results = check_all_invariants(cluster)
+        assert all(r.ok for r in results), [str(r) for r in results]
+
+    def test_queue_shed_and_browser_retry_budget_compose(self):
+        # Same reconfiguration storm, with the closed-loop browsers' own
+        # retry budget turned on: once the bucket drains, further shed
+        # retries give up and surface as bench.retries_exhausted instead
+        # of hammering the recovering scheduler forever.
+        cfg = CostConfig(
+            update_queue_limit=1,
+            retry_budget_rate=0.2,
+            retry_budget_burst=2.0,
+        )
+        cluster = build_cluster(seed=8, cost_config=cfg)
+        cluster.kill_node_at("m0", 15.0)
+        run_workload(cluster, duration=70.0, browsers=12)
+        assert merged_counter(cluster, "sched.shed_requests") > 0
+        assert merged_counter(cluster, "bench.retries_exhausted") > 0
+        assert cluster.metrics.completed > 0
+
+
+class TestDeadlinePropagation:
+    def test_deadline_expires_in_mpl_queue_and_releases_slot(self):
+        # One update MPL slot on the slow server shape: queued updates
+        # outlive a tight deadline, are cancelled *inside* the admission
+        # wait (counted as sched.deadline_cancels) and the run still
+        # drains cleanly — cancelled waiters must not leak MPL slots.
+        scenario = flash_crowd_scenario(duration=60.0, seed=5, deadline=0.4)
+        cfg = overload_base_config(update_mpl=1, request_deadline=0.4)
+        report = run_chaos_scenario(
+            seed=5,
+            plan=overload_chaos_plan(5, 60.0),
+            cost_config=cfg,
+            traffic=scenario,
+        )
+        assert report.counters.get("sched.deadline_cancels", 0) > 0
+        for stats in report.traffic.tenants.values():
+            assert stats.in_flight == 0
+            assert stats.accounted() == stats.injected
+
+    def test_deadline_is_per_request_not_per_attempt(self):
+        # The deadline is stamped at the *scheduled arrival*: whatever the
+        # attempt count, no completion may be recorded later than
+        # deadline + one interaction's worth of service; a per-attempt
+        # deadline would let retries push latency far past it.
+        scenario = flash_crowd_scenario(duration=60.0, seed=2, deadline=1.0)
+        report = run_chaos_scenario(
+            seed=2,
+            plan=overload_chaos_plan(2, 60.0),
+            cost_config=overload_base_config(request_deadline=1.0),
+            traffic=scenario,
+        )
+        for stats in report.traffic.tenants.values():
+            if len(stats.latency):
+                # Completions start before the deadline; the tail can
+                # overrun only by the in-flight interaction, never by a
+                # whole retry cycle.
+                assert stats.latency.percentile(100) < 1.0 + 3.0
+
+
+class TestMetastabilityDemo:
+    def test_off_arm_stays_degraded_at_least_twice_as_long(self):
+        comparison = run_overload_comparison(seed=0, duration=120.0)
+        assert comparison.on.invariants_ok, comparison.on.invariant_failures
+        assert comparison.on.recovered
+        # The OFF arm is the metastable failure: degraded >= 2x longer
+        # (typically it never recovers inside the measured window).
+        assert comparison.ok, comparison.summary()
+        assert comparison.off.degraded_duration >= 2.0 * max(
+            comparison.on.degraded_duration, 1e-9
+        )
+        assert comparison.on.slo_attainment > comparison.off.slo_attainment
+
+    def test_defense_counters_fire_only_on_the_on_arm(self):
+        comparison = run_overload_comparison(seed=7, duration=120.0)
+        on, off = comparison.on.counters, comparison.off.counters
+        for counter in (
+            "sched.admission_rejects",
+            "sched.deadline_cancels",
+            "traffic.retry_budget_exhausted",
+        ):
+            assert on[counter] > 0, counter
+            assert off[counter] == 0, counter
+
+    def test_overload_chaos_run_fingerprint_is_reproducible(self):
+        def once():
+            return run_chaos_scenario(
+                seed=11,
+                plan=overload_chaos_plan(11, 60.0),
+                cost_config=overload_defense_config(),
+                traffic=flash_crowd_scenario(duration=60.0, seed=11),
+            )
+
+        a, b = once(), once()
+        assert a.fingerprint == b.fingerprint
+        assert a.counters == b.counters
